@@ -1,0 +1,67 @@
+// Command figures regenerates the paper's tables and figures: Figure 2 (the
+// original versions across platforms), Figures 3-15 (per-processor execution
+// time breakdowns on SVM), Figure 16 (optimization classes across all three
+// platforms) and Figure 17 (Volrend stealing on SVM vs. DSM).
+//
+// Usage:
+//
+//	figures -all                # every figure, paper order
+//	figures -fig fig16          # one figure
+//	figures -headline           # the §4 per-application SVM progression
+//	figures -p 16 -scale 1      # processors and a scale multiplier on top
+//	                            # of each app's base problem size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "repro/internal/apps"
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (fig2..fig17); empty with -all for everything")
+	all := flag.Bool("all", false, "regenerate every figure")
+	headline := flag.Bool("headline", false, "print the per-application SVM speedup progression (paper §4)")
+	np := flag.Int("p", 16, "number of simulated processors")
+	scale := flag.Float64("scale", 1, "problem-size multiplier on top of per-app base scales")
+	flag.Parse()
+
+	r := harness.NewRunner(*np, *scale)
+
+	emit := func(f harness.Figure) {
+		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
+		out, err := f.Run(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	switch {
+	case *headline:
+		out, err := harness.HeadlineSpeedups(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	case *all:
+		for _, f := range harness.Figures() {
+			emit(f)
+		}
+	case *fig != "":
+		f, err := harness.FindFigure(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		emit(f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Command svmsim runs one application version on one platform model and
+// prints the per-processor execution time breakdown, counters, and speedup
+// versus the uniprocessor original — the tool used to reproduce any single
+// data point from the paper.
+//
+// Usage:
+//
+//	svmsim -app lu -version 4da -platform svm -p 16 -scale 1.0 [-speedup] [-freecs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "lu", "application name")
+	version := flag.String("version", "orig", "application version")
+	plat := flag.String("platform", "svm", "platform: svm, smp, dsm")
+	np := flag.Int("p", 16, "number of simulated processors")
+	scale := flag.Float64("scale", 1.0, "problem size scale factor")
+	speedup := flag.Bool("speedup", false, "also compute speedup vs uniprocessor original")
+	freecs := flag.Bool("freecs", false, "paper diagnostic: page faults inside critical sections are free")
+	hot := flag.Bool("hot", false, "print the SVM hot-page / hot-lock profile (paper §6's performance tool)")
+	list := flag.Bool("list", false, "list applications and versions")
+	flag.Parse()
+
+	if *list {
+		for _, name := range core.Apps() {
+			a, _ := core.Lookup(name)
+			fmt.Printf("%s:\n", name)
+			for _, v := range a.Versions() {
+				fmt.Printf("  %-10s %-5s %s\n", v.Name, v.Class, v.Desc)
+			}
+		}
+		return
+	}
+
+	spec := harness.Spec{
+		App: *app, Version: *version, Platform: *plat,
+		NumProcs: *np, Scale: *scale, FreeCSFaults: *freecs,
+	}
+	var run *stats.Run
+	var report string
+	var err error
+	if *hot {
+		run, report, err = harness.ExecuteProfiled(spec)
+	} else {
+		run, err = harness.Execute(spec)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svmsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(run.BreakdownTable())
+	if report != "" {
+		fmt.Print(report)
+	}
+	c := run.AggregateCounters()
+	fmt.Printf("counters: reads=%d writes=%d faults=%d fetches=%d twins=%d diffs=%d inval=%d locks=%d remote=%d bus=%d tasks=%d stolen=%d\n",
+		c.Reads, c.Writes, c.PageFaults, c.PageFetches, c.TwinsMade, c.DiffsCreated,
+		c.Invalidations, c.LockAcquires, c.RemoteMisses, c.BusTransactions, c.TasksRun, c.TasksStolen)
+
+	if *speedup {
+		a, _ := core.Lookup(*app)
+		base, err := harness.Execute(harness.Spec{
+			App: *app, Version: a.Versions()[0].Name, Platform: *plat,
+			NumProcs: 1, Scale: *scale,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup vs uniprocessor %s/orig: %.2f\n", *app,
+			float64(base.EndTime)/float64(run.EndTime))
+	}
+}

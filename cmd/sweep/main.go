@@ -1,0 +1,82 @@
+// Command sweep runs one application version across processor counts on one
+// or all platforms — the paper's §7 future-work question ("when we use real
+// systems, we plan to investigate the issues with larger numbers of
+// processors"), answerable here by simulation.
+//
+//	sweep -app ocean -version rows -platform svm -procs 1,2,4,8,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	_ "repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "application name")
+	version := flag.String("version", "rows", "application version")
+	plat := flag.String("platform", "", "platform; empty = all three")
+	procs := flag.String("procs", "1,2,4,8,16", "comma-separated processor counts")
+	scale := flag.Float64("scale", 1, "problem size scale factor")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*procs, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "sweep: bad processor count %q\n", f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	plats := platform.Names
+	if *plat != "" {
+		plats = []string{*plat}
+	}
+
+	// Uniprocessor baselines of the original version, per platform.
+	base := map[string]uint64{}
+	for _, pl := range plats {
+		run, err := harness.Execute(harness.Spec{
+			App: *app, Version: "orig", Platform: pl, NumProcs: 1, Scale: *scale,
+		})
+		if err != nil {
+			// Barnes names its original differently.
+			run, err = harness.Execute(harness.Spec{
+				App: *app, Version: "splash", Platform: pl, NumProcs: 1, Scale: *scale,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+		}
+		base[pl] = run.EndTime
+	}
+
+	fmt.Printf("%s/%s speedup vs uniprocessor original (scale %.2g)\n", *app, *version, *scale)
+	fmt.Printf("%6s", "P")
+	for _, pl := range plats {
+		fmt.Printf(" %8s", pl)
+	}
+	fmt.Println()
+	for _, np := range counts {
+		fmt.Printf("%6d", np)
+		for _, pl := range plats {
+			run, err := harness.Execute(harness.Spec{
+				App: *app, Version: *version, Platform: pl, NumProcs: np, Scale: *scale,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %8.2f", float64(base[pl])/float64(run.EndTime))
+		}
+		fmt.Println()
+	}
+}

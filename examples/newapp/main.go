@@ -1,0 +1,85 @@
+// Newapp: use the simulation kernel directly to study YOUR OWN kernel's
+// behaviour on the three platforms — the library is not limited to the seven
+// paper applications. Here: a parallel histogram, written two ways (shared
+// bins updated under a lock vs. per-processor private bins reduced at the
+// end), the classic page-granularity lesson in thirty lines.
+//
+//	go run ./examples/newapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+const (
+	nKeys = 1 << 16
+	nBins = 256
+	np    = 8
+)
+
+func histogram(plat string, private bool) uint64 {
+	as := mem.NewAddressSpace(platform.PageSize, np)
+	keys := as.AllocPages(nKeys * 4)
+	as.DistributeBlocked(keys, nKeys*4)
+	shared := as.AllocPages(nBins * 8)
+
+	priv := make([]uint64, np)
+	for q := 0; q < np; q++ {
+		priv[q] = as.AllocPages(nBins * 8)
+		as.SetHome(priv[q], nBins*8, q)
+	}
+
+	pl, err := platform.Make(plat, as, np)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := sim.New(pl, sim.Config{NumProcs: np})
+	run := k.Run("histogram", func(p *sim.Proc) {
+		id := p.ID()
+		per := nKeys / np
+		base := keys + uint64(id*per*4)
+		p.ReadRange(base, per*4) // stream own keys
+		if private {
+			// Bin into private counters, then merge under one lock.
+			p.WriteRange(priv[id], nBins*8)
+			p.Compute(uint64(3 * per))
+			p.Barrier()
+			p.Lock(1)
+			p.ReadRange(shared, nBins*8)
+			p.WriteRange(shared, nBins*8)
+			p.Unlock(1)
+			p.Compute(nBins * 2)
+		} else {
+			// Update the shared bins directly: one lock per batch of
+			// keys, scattered writes into pages everyone dirties.
+			const batch = 64
+			for i := 0; i < per; i += batch {
+				p.Lock(1)
+				for j := 0; j < batch; j++ {
+					p.Write(shared + uint64(((id*7+i+j)*37)%nBins)*8)
+				}
+				p.Unlock(1)
+				p.Compute(batch * 3)
+			}
+		}
+		p.Barrier()
+	})
+	return run.EndTime
+}
+
+func main() {
+	fmt.Printf("%-6s %16s %16s %8s\n", "plat", "shared-bins", "private-bins", "ratio")
+	for _, plat := range []string{"svm", "smp", "dsm"} {
+		s := histogram(plat, false)
+		pv := histogram(plat, true)
+		fmt.Printf("%-6s %16d %16d %7.1fx\n", plat, s, pv, float64(s)/float64(pv))
+	}
+	fmt.Println("\nThe shared-bin version synchronizes per batch and false-shares the bin")
+	fmt.Println("pages; on SVM that costs orders of magnitude, on hardware coherence it")
+	fmt.Println("is merely bad — the paper's asymmetry, on your own code.")
+}

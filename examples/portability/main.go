@@ -1,0 +1,52 @@
+// Portability: walk one application (Ocean) through the paper's optimization
+// classes — original, padding/alignment, data-structure reorganization,
+// algorithmic change — on all three platforms, reproducing the paper's
+// central question: do SVM optimizations port to hardware-coherent machines?
+//
+//	go run ./examples/portability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const app = "ocean"
+	r := repro.NewRunner(16, 1)
+
+	vs, err := repro.Versions(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: speedup by optimization class and platform (P=16)\n\n", app)
+	fmt.Printf("%-8s %-6s", "version", "class")
+	for _, pl := range repro.Platforms() {
+		fmt.Printf(" %8s", pl)
+	}
+	fmt.Println()
+	for _, v := range vs {
+		fmt.Printf("%-8s %-6s", v.Name, v.Class)
+		for _, pl := range repro.Platforms() {
+			s, err := r.Speedup(app, v.Name, pl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.2f", s)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`
+Reading the table (paper §4.1.2, §5):
+  - on SVM the original 2-d square-partitioned grids run below a
+    uniprocessor; padding barely helps; the 4-d contiguous partitions (DS)
+    recover some ground; the row-wise partitioning (Alg) wins decisively
+    despite its worse inherent communication-to-computation ratio, because
+    page-grained interactions dominate inherent algorithm properties;
+  - on the hardware-coherent platforms the same restructurings are
+    performance-portable (they do not hurt) but matter far less.`)
+}

@@ -1,0 +1,50 @@
+// Quickstart: run one application version on one platform, print the
+// paper-style per-processor execution time breakdown, and compute the
+// speedup against the uniprocessor original.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// LU with the restructured, page-aligned 4-d layout on the shared
+	// virtual memory platform, 16 processors.
+	run, err := repro.Execute(repro.Spec{
+		App:      "lu",
+		Version:  "4da",
+		Platform: "svm",
+		NumProcs: 16,
+		Scale:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(run.BreakdownTable())
+
+	// Speedup, paper convention: uniprocessor time of the ORIGINAL
+	// version over 16-processor time of this version.
+	base, err := repro.Execute(repro.Spec{
+		App: "lu", Version: "orig", Platform: "svm", NumProcs: 1, Scale: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspeedup vs uniprocessor lu/orig: %.2f\n",
+		float64(base.EndTime)/float64(run.EndTime))
+
+	fmt.Println("\navailable applications and versions:")
+	for _, app := range repro.Apps() {
+		vs, _ := repro.Versions(app)
+		fmt.Printf("  %-10s", app)
+		for _, v := range vs {
+			fmt.Printf(" %s(%s)", v.Name, v.Class)
+		}
+		fmt.Println()
+	}
+}

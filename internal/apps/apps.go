@@ -1,0 +1,15 @@
+// Package apps links every application reimplementation into the registry.
+// Importing it (blank) makes all seven applications available to
+// core.Lookup.
+package apps
+
+import (
+	// Each application package registers itself in its init function.
+	_ "repro/internal/apps/barnes"
+	_ "repro/internal/apps/lu"
+	_ "repro/internal/apps/ocean"
+	_ "repro/internal/apps/radix"
+	_ "repro/internal/apps/raytrace"
+	_ "repro/internal/apps/shearwarp"
+	_ "repro/internal/apps/volrend"
+)

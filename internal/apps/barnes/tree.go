@@ -1,0 +1,276 @@
+package barnes
+
+import "math"
+
+// The real Barnes-Hut data structures and geometry. Tree nodes live in a
+// single host-side slice; the simulated address of a node depends on which
+// pool (global interleaved vs. per-processor heap) the running version
+// allocated it from — that mapping lives in instance, not here.
+
+const (
+	leafCap = 8   // bodies per leaf, as in SPLASH Barnes
+	theta   = 0.7 // opening criterion
+	softEps = 0.05
+)
+
+type body struct {
+	pos, vel, acc [3]float64
+	mass          float64
+	leaf          int32 // leaf node currently holding the body (Update-Tree)
+}
+
+type node struct {
+	center [3]float64
+	half   float64
+	child  [8]int32 // children (internal nodes); -1 = empty
+	bodies []int32  // leaf payload; nil for internal nodes
+	com    [3]float64
+	mass   float64
+	owner  int32 // allocating processor
+	leafN  bool
+	used   bool
+}
+
+// tree is a growable arena of nodes with a root index.
+type tree struct {
+	nodes []node
+	root  int32
+}
+
+func (t *tree) reset() {
+	t.nodes = t.nodes[:0]
+	t.root = -1
+}
+
+// alloc appends a fresh node and returns its index.
+func (t *tree) alloc(center [3]float64, half float64, owner int, leaf bool) int32 {
+	n := node{center: center, half: half, owner: int32(owner), leafN: leaf, used: true}
+	for i := range n.child {
+		n.child[i] = -1
+	}
+	t.nodes = append(t.nodes, n)
+	return int32(len(t.nodes) - 1)
+}
+
+// octant returns which child octant of c contains p.
+func octant(c *node, p [3]float64) int {
+	o := 0
+	for d := 0; d < 3; d++ {
+		if p[d] >= c.center[d] {
+			o |= 1 << d
+		}
+	}
+	return o
+}
+
+// childBounds computes the center/half of octant o of cell c.
+func childBounds(c *node, o int) ([3]float64, float64) {
+	h := c.half / 2
+	ctr := c.center
+	for d := 0; d < 3; d++ {
+		if o&(1<<d) != 0 {
+			ctr[d] += h
+		} else {
+			ctr[d] -= h
+		}
+	}
+	return ctr, h
+}
+
+// contains reports whether p lies within node c's cube.
+func contains(c *node, p [3]float64) bool {
+	for d := 0; d < 3; d++ {
+		if p[d] < c.center[d]-c.half || p[d] >= c.center[d]+c.half {
+			return false
+		}
+	}
+	return true
+}
+
+// insertVisitor is called on every node touched during an insertion: descend
+// steps (reads) and modifications (locked writes, allocations). It lets the
+// instance charge the right simulated costs per version.
+type insertVisitor interface {
+	visit(n int32)             // node read while descending
+	modify(n int32)            // node written under its lock
+	allocated(n int32, by int) // new node created
+}
+
+// insert adds body b (index bi) into the subtree at idx, invoking v's hooks.
+// It returns the leaf that finally holds the body.
+func (t *tree) insert(idx int32, bodies []body, bi int32, owner int, v insertVisitor) int32 {
+	for {
+		c := &t.nodes[idx]
+		if v != nil {
+			v.visit(idx)
+		}
+		if c.leafN {
+			if v != nil {
+				v.modify(idx)
+			}
+			if len(c.bodies) < leafCap {
+				c.bodies = append(c.bodies, bi)
+				bodies[bi].leaf = idx
+				return idx
+			}
+			// Split the leaf into an internal node and reinsert.
+			old := append([]int32(nil), c.bodies...)
+			c.bodies = nil
+			c.leafN = false
+			for _, ob := range old {
+				t.placeInChild(idx, bodies, ob, owner, v)
+			}
+			// Fall through: continue inserting bi at this internal node.
+			continue
+		}
+		o := octant(c, bodies[bi].pos)
+		ch := c.child[o]
+		if ch < 0 {
+			if v != nil {
+				v.modify(idx)
+			}
+			ctr, h := childBounds(c, o)
+			nl := t.alloc(ctr, h, owner, true)
+			if v != nil {
+				v.allocated(nl, owner)
+			}
+			t.nodes[idx].child[o] = nl
+			t.nodes[nl].bodies = append(t.nodes[nl].bodies, bi)
+			bodies[bi].leaf = nl
+			return nl
+		}
+		idx = ch
+	}
+}
+
+// placeInChild pushes body ob one level down from internal node idx during a
+// leaf split.
+func (t *tree) placeInChild(idx int32, bodies []body, ob int32, owner int, v insertVisitor) {
+	c := &t.nodes[idx]
+	o := octant(c, bodies[ob].pos)
+	if c.child[o] < 0 {
+		ctr, h := childBounds(c, o)
+		nl := t.alloc(ctr, h, owner, true)
+		if v != nil {
+			v.allocated(nl, owner)
+		}
+		t.nodes[idx].child[o] = nl
+	}
+	ch := t.nodes[idx].child[o]
+	t.insert(ch, bodies, ob, owner, v)
+}
+
+// computeCOM fills in masses and centers of mass bottom-up from idx.
+func (t *tree) computeCOM(idx int32, bodies []body) (mass float64, com [3]float64) {
+	c := &t.nodes[idx]
+	if c.leafN {
+		for _, bi := range c.bodies {
+			b := &bodies[bi]
+			mass += b.mass
+			for d := 0; d < 3; d++ {
+				com[d] += b.mass * b.pos[d]
+			}
+		}
+	} else {
+		for _, ch := range c.child {
+			if ch < 0 {
+				continue
+			}
+			m, cc := t.computeCOM(ch, bodies)
+			mass += m
+			for d := 0; d < 3; d++ {
+				com[d] += m * cc[d]
+			}
+		}
+	}
+	if mass > 0 {
+		for d := 0; d < 3; d++ {
+			com[d] /= mass
+		}
+	}
+	c.mass = mass
+	c.com = com
+	return mass, com
+}
+
+// forceVisitor is called on every node examined during a force traversal.
+type forceVisitor interface {
+	examine(n int32)       // node whose COM/children were read
+	interactBody(bi int32) // direct body-body interaction
+}
+
+// force accumulates the acceleration on body bi from the subtree at idx.
+func (t *tree) force(idx int32, bodies []body, bi int32, acc *[3]float64, v forceVisitor) {
+	c := &t.nodes[idx]
+	if v != nil {
+		v.examine(idx)
+	}
+	if c.mass == 0 {
+		return
+	}
+	b := &bodies[bi]
+	if c.leafN {
+		for _, ob := range c.bodies {
+			if ob == bi {
+				continue
+			}
+			if v != nil {
+				v.interactBody(ob)
+			}
+			addForce(b.pos, bodies[ob].pos, bodies[ob].mass, acc)
+		}
+		return
+	}
+	dx := c.com[0] - b.pos[0]
+	dy := c.com[1] - b.pos[1]
+	dz := c.com[2] - b.pos[2]
+	dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if (2*c.half)/ (dist + 1e-12) < theta {
+		addPoint(dx, dy, dz, dist, c.mass, acc)
+		return
+	}
+	for _, ch := range c.child {
+		if ch >= 0 {
+			t.force(ch, bodies, bi, acc, v)
+		}
+	}
+}
+
+func addForce(p, q [3]float64, m float64, acc *[3]float64) {
+	dx, dy, dz := q[0]-p[0], q[1]-p[1], q[2]-p[2]
+	dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	addPoint(dx, dy, dz, dist, m, acc)
+}
+
+func addPoint(dx, dy, dz, dist, m float64, acc *[3]float64) {
+	d2 := dist*dist + softEps*softEps
+	f := m / (d2 * math.Sqrt(d2))
+	acc[0] += f * dx
+	acc[1] += f * dy
+	acc[2] += f * dz
+}
+
+// directForce computes the exact O(n^2) acceleration on body bi — the
+// verification reference for the Barnes-Hut approximation.
+func directForce(bodies []body, bi int) [3]float64 {
+	var acc [3]float64
+	for j := range bodies {
+		if j == bi {
+			continue
+		}
+		addForce(bodies[bi].pos, bodies[j].pos, bodies[j].mass, &acc)
+	}
+	return acc
+}
+
+// remove deletes body bi from leaf lf (Update-Tree).
+func (t *tree) remove(lf int32, bi int32) {
+	bs := t.nodes[lf].bodies
+	for i, b := range bs {
+		if b == bi {
+			bs[i] = bs[len(bs)-1]
+			t.nodes[lf].bodies = bs[:len(bs)-1]
+			return
+		}
+	}
+}

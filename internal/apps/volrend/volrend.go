@@ -1,0 +1,329 @@
+// Package volrend reimplements the memory behaviour of SPLASH-2 Volrend
+// (paper §2.2.2, §4.2.1): a volume ray-caster with per-processor task queues
+// and task stealing. The image plane is divided into per-processor blocks of
+// small tiles; a tile is the unit of work and of stealing. Ray cost varies
+// strongly across the image (empty-space skipping outside the head, early
+// ray termination inside it), so the blocked initial partition is imbalanced
+// and the original code relies on stealing — which is nearly free on
+// hardware cache coherence and very expensive on SVM.
+//
+// Versions:
+//
+//   - orig:     blocked partition, contiguous per-processor blocks of tiles,
+//     2-d image (pages span processors' partitions), stealing on;
+//   - pad:      every task-queue entry padded and aligned to a page (P/A;
+//     cuts queue false sharing but adds fragmentation — not beneficial);
+//   - ds4d:     image restructured as a 4-d array, partitions contiguous,
+//     page-aligned and homed (DS class; the paper finds it HURTS — 7.09
+//     to 6.27 — because pixel addressing gets costlier and interacts with
+//     stealing);
+//   - balanced: the Alg-class fix — many small block pieces assigned
+//     round-robin for initial balance, stealing still on (11.42);
+//   - nosteal:  balanced assignment with stealing disabled (11.70) —
+//     trades a little barrier imbalance for no lock serialization.
+package volrend
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const (
+	tile     = 4 // pixels per tile side
+	maxAlpha = 0.95
+	// Per-sample compositing in Volrend does a trilinear interpolation,
+	// gradient shading, classification and opacity update — roughly 30
+	// scalar-code cycles per sample on a 1997 processor.
+	voxelCost  = 30
+	pixelSetup = 150 // ray setup, clipping, termination
+	// frames is the number of frames rendered; the volume distribution
+	// cost amortizes over the sequence, as in the SPLASH-2 runs.
+	frames = 4
+)
+
+type app struct{}
+
+func init() { core.Register(app{}) }
+
+// Name implements core.App.
+func (app) Name() string { return "volrend" }
+
+// Versions implements core.App.
+func (app) Versions() []core.Version {
+	return []core.Version{
+		{Name: "orig", Class: core.Orig, Desc: "blocked tile partition, 2-d image, stealing"},
+		{Name: "pad", Class: core.PA, Desc: "task-queue entries padded to pages"},
+		{Name: "ds4d", Class: core.DS, Desc: "4-d image, partitions contiguous and aligned (hurts)"},
+		{Name: "balanced", Class: core.Alg, Desc: "small round-robin task pieces, stealing"},
+		{Name: "nosteal", Class: core.Alg, Desc: "small round-robin task pieces, no stealing"},
+	}
+}
+
+type instance struct {
+	n, nz, np int
+	steal     bool
+	fourD     bool
+
+	vol     []uint8
+	volAdr  uint64
+	img     []uint32
+	imgLay  mem.Layout2D
+	ref     []uint32
+	queues  []*apputil.TaskQueue
+	assign  [][]int  // per-processor initial task lists (per frame)
+	tiles   [][2]int // task id -> tile origin (x, y)
+	extraPx uint64   // extra per-pixel addressing cost (ds4d)
+}
+
+// Build implements core.App.
+func (app) Build(version string, scale float64, as *mem.AddressSpace, np int) (core.Instance, error) {
+	in := &instance{np: np, steal: true}
+	n := int(128 * scale)
+	n = (n / (tile * 4)) * tile * 4
+	if n < tile*8 {
+		n = tile * 8
+	}
+	in.n = n
+	in.nz = n / 2
+
+	// The run-length-encoded volume, stored ray-major so an axis-aligned
+	// ray reads contiguously; read-only data, distributed round-robin.
+	in.vol = make([]uint8, n*n*in.nz)
+	in.volAdr = as.AllocPages(len(in.vol))
+	as.DistributeRoundRobin(in.volAdr, len(in.vol))
+	fillHead(in.vol, n, in.nz)
+
+	padQueues := uint64(0)
+	balanced := false
+	switch version {
+	case "orig":
+	case "pad":
+		padQueues = as.PageSize()
+	case "ds4d":
+		in.fourD = true
+		in.extraPx = 100 // 4-d pixel addressing: two integer divides+mods per access
+	case "balanced":
+		balanced = true
+	case "nosteal":
+		balanced = true
+		in.steal = false
+	default:
+		return nil, fmt.Errorf("volrend: unknown version %q", version)
+	}
+
+	// Image plane.
+	in.img = make([]uint32, n*n)
+	pr, pc := procGrid(np)
+	if in.fourD {
+		m := mem.NewArray4D(as, n, n, n/pr, n/pc, 4, as.PageSize())
+		for bi := 0; bi < pr; bi++ {
+			for bj := 0; bj < pc; bj++ {
+				as.SetHome(m.BlockAddr(bi, bj), int(m.BlockStride()), bi*pc+bj)
+			}
+		}
+		in.imgLay = m
+	} else {
+		m := mem.NewArray2D(as, n, n, 4)
+		as.DistributeRoundRobin(m.Base, m.Size())
+		in.imgLay = m
+	}
+
+	// Tiles and task queues.
+	nt := n / tile
+	in.tiles = make([][2]int, 0, nt*nt)
+	for ty := 0; ty < nt; ty++ {
+		for tx := 0; tx < nt; tx++ {
+			in.tiles = append(in.tiles, [2]int{tx * tile, ty * tile})
+		}
+	}
+	in.queues = make([]*apputil.TaskQueue, np)
+	for q := 0; q < np; q++ {
+		in.queues[q] = apputil.NewTaskQueue(as, q, apputil.QueueOptions{
+			Capacity: len(in.tiles), EntryBytes: 16, PadEntriesTo: padQueues, LockID: 100 + q,
+		})
+	}
+	assign := make([][]int, np)
+	if balanced {
+		// Many small pieces dealt round-robin across processors: one
+		// tile-row (a few tiles) per piece. Interleaving samples the
+		// whole image so every processor gets a fair mix of cheap and
+		// expensive rays, and a piece's pixels stay row-contiguous.
+		for ty := 0; ty < nt; ty++ {
+			owner := ty % np
+			for tx := 0; tx < nt; tx++ {
+				assign[owner] = append(assign[owner], ty*nt+tx)
+			}
+		}
+	} else {
+		// Contiguous blocks of tiles, one per processor.
+		for id := 0; id < np; id++ {
+			pi, pj := id/pc, id%pc
+			bh, bw := nt/pr, nt/pc
+			for ty := pi * bh; ty < (pi+1)*bh; ty++ {
+				for tx := pj * bw; tx < (pj+1)*bw; tx++ {
+					assign[id] = append(assign[id], ty*nt+tx)
+				}
+			}
+		}
+	}
+	for q := 0; q < np; q++ {
+		in.queues[q].Reset(assign[q])
+	}
+	in.assign = assign
+
+	in.ref = make([]uint32, n*n)
+	for py := 0; py < n; py++ {
+		for px := 0; px < n; px++ {
+			in.ref[py*n+px], _ = castRay(in.vol, n, in.nz, px, py)
+		}
+	}
+	return in, nil
+}
+
+func procGrid(np int) (pr, pc int) {
+	pr = 1
+	for pr*pr < np {
+		pr++
+	}
+	for np%pr != 0 {
+		pr--
+	}
+	return pr, np / pr
+}
+
+// fillHead builds the CT-head stand-in: concentric density shells inside a
+// bounding sphere, empty outside.
+func fillHead(vol []uint8, n, nz int) {
+	cx, cy, cz := float64(n)/2, float64(n)/2, float64(nz)/2
+	r := 0.45 * float64(n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < nz; z++ {
+				dx, dy, dz := float64(x)-cx, float64(y)-cy, (float64(z)-cz)*2
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 > r*r {
+					continue
+				}
+				// Shells: alternating dense / sparse bands.
+				band := int(d2/(r*r)*8) % 3
+				switch band {
+				case 0:
+					vol[(y*n+x)*nz+z] = 200
+				case 1:
+					vol[(y*n+x)*nz+z] = 40
+				default:
+					vol[(y*n+x)*nz+z] = 90
+				}
+			}
+		}
+	}
+}
+
+// castRay composites the ray for pixel (px, py); it returns the pixel value
+// and the number of voxels marched (0 when empty-space skipping rejects the
+// whole ray).
+func castRay(vol []uint8, n, nz, px, py int) (uint32, int) {
+	cx, cy := float64(n)/2, float64(n)/2
+	dx, dy := float64(px)-cx, float64(py)-cy
+	r := 0.45 * float64(n)
+	if dx*dx+dy*dy > r*r {
+		return 0, 0 // octree: fully empty column
+	}
+	var acc, alpha float64
+	steps := 0
+	base := (py*n + px) * nz
+	for z := 0; z < nz; z++ {
+		steps++
+		d := float64(vol[base+z]) / 255
+		a := d * 0.05
+		acc += (1 - alpha) * a * d * 255
+		alpha += (1 - alpha) * a
+		if alpha > maxAlpha {
+			break
+		}
+	}
+	return uint32(acc), steps
+}
+
+// renderTile runs one task: casts the rays of a tile, issuing the simulated
+// volume reads and image writes.
+func (in *instance) renderTile(p *sim.Proc, t int) {
+	nt := in.n / tile
+	x0, y0 := (t%nt)*tile, (t/nt)*tile
+	for py := y0; py < y0+tile; py++ {
+		for px := x0; px < x0+tile; px++ {
+			v, steps := castRay(in.vol, in.n, in.nz, px, py)
+			in.img[py*in.n+px] = v
+			if steps > 0 {
+				p.ReadRange(in.volAdr+uint64((py*in.n+px)*in.nz), steps)
+				p.Compute(uint64(steps * voxelCost))
+			}
+			p.Compute(pixelSetup + in.extraPx)
+		}
+		// The tile row's pixels are contiguous in the image layout.
+		p.WriteRange(in.imgLay.Addr(py, x0), tile*4)
+	}
+}
+
+// Body implements core.Instance: a short frame sequence, each frame rendered
+// from per-processor task queues with optional stealing.
+func (in *instance) Body(p *sim.Proc) {
+	id := p.ID()
+	p.Barrier()
+	for f := 0; f < frames; f++ {
+		if f > 0 {
+			in.queues[id].Refill(p, in.assign[id])
+			p.Barrier()
+		}
+		// Drain own queue.
+		for {
+			t, ok := in.queues[id].Dequeue(p)
+			if !ok {
+				break
+			}
+			in.renderTile(p, t)
+			p.CountTask(false)
+		}
+		// Steal from victims round-robin. Every attempt pays the real
+		// cost: the victim's queue must be locked just to look, and
+		// the lock's critical section is dilated by remote faults on
+		// the queue pages — the paper's key observation about
+		// stealing on SVM.
+		if in.steal {
+			for {
+				got := false
+				for off := 1; off < in.np; off++ {
+					victim := (id + off) % in.np
+					if !in.queues[victim].Peek(p) {
+						continue // unlocked emptiness test
+					}
+					t, ok := in.queues[victim].Dequeue(p)
+					if !ok {
+						continue
+					}
+					in.renderTile(p, t)
+					p.CountTask(true)
+					got = true
+				}
+				if !got {
+					break
+				}
+			}
+		}
+		p.Barrier()
+	}
+}
+
+// Verify implements core.Instance.
+func (in *instance) Verify() error {
+	for i := range in.img {
+		if in.img[i] != in.ref[i] {
+			return fmt.Errorf("volrend: pixel %d = %d, want %d", i, in.img[i], in.ref[i])
+		}
+	}
+	return nil
+}

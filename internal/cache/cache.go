@@ -1,0 +1,286 @@
+// Package cache models a two-level per-processor cache hierarchy with real
+// tag arrays, used by all three platform models for local stall accounting
+// and (on the hardware-coherent platforms) for MESI line states. The paper's
+// configurations: SVM nodes have an 8 KB direct-mapped write-through L1 and a
+// 512 KB 2-way L2 with 32 B lines; the DSM nodes a 16 KB L1 and a 1 MB 4-way
+// L2 with 64 B lines; the SGI Challenge a 16 KB L1 and 1 MB L2 with 128 B
+// lines.
+package cache
+
+import "fmt"
+
+// MESI line states. Platforms that do not track coherence in the cache (the
+// SVM platform, which is coherent at page granularity) use only Invalid and
+// Exclusive.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Config describes a two-level hierarchy. Sizes in bytes; all powers of two.
+type Config struct {
+	L1Size  int
+	L1Assoc int
+	L2Size  int
+	L2Assoc int
+	Line    int // line size shared by both levels
+}
+
+// Level is the level at which an access was satisfied.
+type Level int
+
+const (
+	L1Hit Level = iota
+	L2Hit
+	Miss // must go to memory / coherence protocol
+)
+
+type set struct {
+	tags  []uint64 // line address (addr / line); 0 means empty (addr 0 unused)
+	state []State
+	lru   []uint32
+}
+
+type level struct {
+	sets     []set
+	setShift uint
+	setMask  uint64
+	assoc    int
+}
+
+func newLevel(size, assoc, line int) *level {
+	nLines := size / line
+	nSets := nLines / assoc
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", nSets))
+	}
+	l := &level{sets: make([]set, nSets), assoc: assoc, setMask: uint64(nSets - 1)}
+	for i := range l.sets {
+		l.sets[i] = set{
+			tags:  make([]uint64, assoc),
+			state: make([]State, assoc),
+			lru:   make([]uint32, assoc),
+		}
+	}
+	return l
+}
+
+func (l *level) lookup(lineAddr uint64) (si, wi int, ok bool) {
+	si = int(lineAddr & l.setMask)
+	s := &l.sets[si]
+	for w := 0; w < l.assoc; w++ {
+		if s.state[w] != Invalid && s.tags[w] == lineAddr {
+			return si, w, true
+		}
+	}
+	return si, -1, false
+}
+
+// insert places lineAddr in its set with the given state, evicting LRU if
+// needed. Returns the evicted line address and its state; evState is Invalid
+// when nothing was evicted.
+func (l *level) insert(lineAddr uint64, st State, clock uint32) (evicted uint64, evState State) {
+	si := int(lineAddr & l.setMask)
+	s := &l.sets[si]
+	// Prefer an invalid way.
+	victim := 0
+	best := ^uint32(0)
+	for w := 0; w < l.assoc; w++ {
+		if s.state[w] == Invalid {
+			victim = w
+			best = 0
+			break
+		}
+		if s.lru[w] < best {
+			best = s.lru[w]
+			victim = w
+		}
+	}
+	if s.state[victim] != Invalid {
+		evicted, evState = s.tags[victim], s.state[victim]
+	}
+	s.tags[victim] = lineAddr
+	s.state[victim] = st
+	s.lru[victim] = clock
+	return evicted, evState
+}
+
+// Hierarchy is one processor's L1+L2.
+type Hierarchy struct {
+	cfg       Config
+	l1, l2    *level
+	lineShift uint
+	clock     uint32
+
+	// OnL2Evict, when set, is called with the line address and state of
+	// every line evicted from L2 by capacity/conflict replacement. The
+	// hardware-coherent platforms use it to keep directory/bus sharer
+	// state consistent with the caches.
+	OnL2Evict func(lineAddr uint64, st State)
+
+	// Stats
+	Accesses, L1Misses, L2Misses uint64
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	if cfg.Line == 0 || cfg.Line&(cfg.Line-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	h := &Hierarchy{cfg: cfg}
+	h.l1 = newLevel(cfg.L1Size, cfg.L1Assoc, cfg.Line)
+	h.l2 = newLevel(cfg.L2Size, cfg.L2Assoc, cfg.Line)
+	for sh := uint(0); ; sh++ {
+		if 1<<sh == cfg.Line {
+			h.lineShift = sh
+			break
+		}
+	}
+	return h
+}
+
+// Line returns the configured line size.
+func (h *Hierarchy) Line() int { return h.cfg.Line }
+
+// LineOf returns the line address (addr / line size).
+func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
+
+// Probe reports the level at which the line containing addr currently
+// resides and its L2 state, without modifying the cache.
+func (h *Hierarchy) Probe(addr uint64) (Level, State) {
+	la := h.LineOf(addr)
+	if _, _, ok := h.l1.lookup(la); ok {
+		_, w2, ok2 := h.l2.lookup(la)
+		if ok2 {
+			si2 := int(la & h.l2.setMask)
+			return L1Hit, h.l2.sets[si2].state[w2]
+		}
+		return L1Hit, Exclusive
+	}
+	if si, w, ok := h.l2.lookup(la); ok {
+		return L2Hit, h.l2.sets[si].state[w]
+	}
+	return Miss, Invalid
+}
+
+// Access performs a load or store of the line containing addr, updating tag
+// and LRU state. fillState is the state a missing line would be installed in
+// (used on the hardware platforms; pass Exclusive for SVM). It returns the
+// level that satisfied the access and the line's resulting L2 state.
+//
+// Coherence upgrades (write to a Shared line) are NOT handled here: the
+// caller must Probe first and drive the protocol; Access then applies the
+// final state via SetState or by re-filling.
+func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, State) {
+	h.clock++
+	h.Accesses++
+	la := h.LineOf(addr)
+	if si, w, ok := h.l1.lookup(la); ok {
+		h.l1.sets[si].lru[w] = h.clock
+		// L1 is write-through: line state lives in L2.
+		if si2, w2, ok2 := h.l2.lookup(la); ok2 {
+			s := &h.l2.sets[si2]
+			s.lru[w2] = h.clock
+			if write && s.state[w2] == Exclusive {
+				s.state[w2] = Modified
+			}
+			return L1Hit, s.state[w2]
+		}
+		return L1Hit, Exclusive
+	}
+	h.L1Misses++
+	if si, w, ok := h.l2.lookup(la); ok {
+		s := &h.l2.sets[si]
+		s.lru[w] = h.clock
+		st := s.state[w]
+		if write && st == Exclusive {
+			st = Modified
+			s.state[w] = st
+		}
+		h.l1.insert(la, st, h.clock)
+		return L2Hit, st
+	}
+	h.L2Misses++
+	st := fillState
+	if write {
+		if st == Exclusive || st == Shared {
+			st = Modified
+		}
+	}
+	if ev, evSt := h.l2.insert(la, st, h.clock); evSt != Invalid {
+		// Inclusion: a line leaving L2 must also leave L1.
+		if si, w, ok := h.l1.lookup(ev); ok {
+			h.l1.sets[si].state[w] = Invalid
+		}
+		if h.OnL2Evict != nil {
+			h.OnL2Evict(ev, evSt)
+		}
+	}
+	h.l1.insert(la, st, h.clock)
+	return Miss, st
+}
+
+// SetState forces the L2 (and implicitly L1) state of the line containing
+// addr; used by the coherence protocols for upgrades and downgrades. A
+// transition to Invalid removes the line from both levels.
+func (h *Hierarchy) SetState(addr uint64, st State) {
+	la := h.LineOf(addr)
+	if si, w, ok := h.l2.lookup(la); ok {
+		if st == Invalid {
+			h.l2.sets[si].state[w] = Invalid
+		} else {
+			h.l2.sets[si].state[w] = st
+		}
+	}
+	if si, w, ok := h.l1.lookup(la); ok {
+		if st == Invalid {
+			h.l1.sets[si].state[w] = Invalid
+		}
+	}
+}
+
+// Contains reports whether the line containing addr is present (any level).
+func (h *Hierarchy) Contains(addr uint64) bool {
+	lvl, _ := h.Probe(addr)
+	return lvl != Miss
+}
+
+// InvalidateRange removes all lines overlapping [addr, addr+n) — used when a
+// page is invalidated under the SVM protocol, so stale data cannot be read
+// from the cache after a page fetch replaces the page.
+func (h *Hierarchy) InvalidateRange(addr uint64, n int) {
+	line := uint64(h.cfg.Line)
+	first := addr &^ (line - 1)
+	for a := first; a < addr+uint64(n); a += line {
+		h.SetState(a, Invalid)
+	}
+}
+
+// Flush empties both levels (used between simulated runs).
+func (h *Hierarchy) Flush() {
+	for _, l := range []*level{h.l1, h.l2} {
+		for i := range l.sets {
+			for w := range l.sets[i].state {
+				l.sets[i].state[w] = Invalid
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package core defines the paper's central abstraction: applications that
+// exist in several restructured versions, each belonging to one of the
+// structured optimization classes of §3 — padding & alignment (P/A),
+// reorganization of major data structures (DS), and algorithmic change
+// (Alg) — and that can be executed unchanged on any of the shared address
+// space platform models to study performance portability.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Class is an optimization class from the paper's methodology (§3).
+type Class int
+
+const (
+	// Orig is the original algorithm we began with (well-tuned for
+	// hardware cache coherence, per SPLASH-2).
+	Orig Class = iota
+	// PA is padding and alignment of data structures to the granularity
+	// of communication/coherence.
+	PA
+	// DS is reorganization of major data structures (e.g. 2-d to 4-d
+	// arrays, organizing records by field).
+	DS
+	// Alg is algorithm redesign: different synchronization, partitioning,
+	// or sequential algorithm for phases of the computation.
+	Alg
+)
+
+// String returns the paper's abbreviation for the class.
+func (c Class) String() string {
+	switch c {
+	case Orig:
+		return "Orig"
+	case PA:
+		return "P/A"
+	case DS:
+		return "DS"
+	case Alg:
+		return "Alg"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Version describes one restructured variant of an application.
+type Version struct {
+	// Name is the variant's short identifier, e.g. "orig", "pad", "4d",
+	// "rows", "spatial".
+	Name string
+	// Class is the optimization class the variant belongs to.
+	Class Class
+	// Desc is a one-line description of the restructuring.
+	Desc string
+}
+
+// Instance is one ready-to-run configuration of an application version: its
+// data laid out in a simulated address space for a particular processor
+// count and problem scale.
+type Instance interface {
+	// Body is the SPMD process body, run once per simulated processor.
+	Body(p *sim.Proc)
+	// Verify checks the computed result against a sequential reference
+	// after the run completes.
+	Verify() error
+}
+
+// App is an application with several restructured versions.
+type App interface {
+	// Name is the application's identifier ("lu", "ocean", ...).
+	Name() string
+	// Versions lists the available variants, original first.
+	Versions() []Version
+	// Build lays out the version's data structures in as and returns a
+	// runnable instance. scale >= 0.25 scales the problem size (1.0 is
+	// the package default, chosen to simulate in seconds; the paper's
+	// full sizes correspond to larger scales).
+	Build(version string, scale float64, as *mem.AddressSpace, np int) (Instance, error)
+}
+
+var registry = map[string]App{}
+
+// Register adds an application to the global registry; called from app
+// package init functions.
+func Register(a App) {
+	if _, dup := registry[a.Name()]; dup {
+		panic("core: duplicate app " + a.Name())
+	}
+	registry[a.Name()] = a
+}
+
+// Lookup returns the registered application with the given name.
+func Lookup(name string) (App, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown app %q (have %v)", name, Apps())
+	}
+	return a, nil
+}
+
+// Apps returns the registered application names, sorted.
+func Apps() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FindVersion returns the Version metadata for an app variant.
+func FindVersion(a App, name string) (Version, error) {
+	for _, v := range a.Versions() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Version{}, fmt.Errorf("core: app %s has no version %q", a.Name(), name)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+type fakeApp struct{ name string }
+
+func (f fakeApp) Name() string { return f.name }
+func (f fakeApp) Versions() []Version {
+	return []Version{{Name: "orig", Class: Orig, Desc: "x"}}
+}
+func (f fakeApp) Build(v string, s float64, as *mem.AddressSpace, np int) (Instance, error) {
+	return nil, nil
+}
+
+func TestRegisterLookup(t *testing.T) {
+	Register(fakeApp{name: "zz-test-app"})
+	a, err := Lookup("zz-test-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "zz-test-app" {
+		t.Errorf("lookup returned %q", a.Name())
+	}
+	if _, err := Lookup("zz-missing"); err == nil {
+		t.Error("expected error for unknown app")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate registration")
+		}
+	}()
+	Register(fakeApp{name: "zz-dup"})
+	Register(fakeApp{name: "zz-dup"})
+}
+
+func TestAppsSorted(t *testing.T) {
+	names := Apps()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Apps() not sorted: %v", names)
+		}
+	}
+}
+
+func TestFindVersion(t *testing.T) {
+	a := fakeApp{name: "zz-fv"}
+	v, err := FindVersion(a, "orig")
+	if err != nil || v.Class != Orig {
+		t.Errorf("FindVersion = %+v, %v", v, err)
+	}
+	if _, err := FindVersion(a, "nope"); err == nil {
+		t.Error("expected error for missing version")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	cases := map[Class]string{Orig: "Orig", PA: "P/A", DS: "DS", Alg: "Alg"}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// Compile-time interface sanity for the sim types used in App signatures.
+var _ = func(p *sim.Proc) {}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"testing"
+
+	_ "repro/internal/apps"
+	"repro/internal/stats"
+)
+
+// These integration tests assert the paper's qualitative claims end to end:
+// every test names the section of the paper whose finding it checks. They
+// run at half the figure problem sizes to stay fast; the claims are about
+// shapes, not absolute numbers.
+
+func claimRunner(t *testing.T) *Runner {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-claim integration tests skipped in -short mode")
+	}
+	// Full figure problem sizes: the shapes under test need them (the
+	// balanced-vs-original Volrend gap, for example, is a page-granularity
+	// effect that only shows at the paper's image size).
+	return NewRunner(16, 1)
+}
+
+func speed(t *testing.T, r *Runner, app, version, plat string) float64 {
+	t.Helper()
+	s, err := r.Speedup(app, version, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Figure 2: the original versions run well on hardware coherence and poorly
+// on SVM; Raytrace and Ocean fall below a uniprocessor on SVM.
+func TestClaimFig2OriginalsGapSVM(t *testing.T) {
+	r := claimRunner(t)
+	for _, app := range []string{"lu", "ocean", "volrend", "raytrace", "barnes", "radix", "shearwarp"} {
+		orig := versionName(app, "orig")
+		svm := speed(t, r, app, orig, "svm")
+		smp := speed(t, r, app, orig, "smp")
+		dsm := speed(t, r, app, orig, "dsm")
+		if svm >= smp || svm >= dsm {
+			t.Errorf("%s: SVM speedup %.2f not below SMP %.2f / DSM %.2f", app, svm, smp, dsm)
+		}
+		if smp < 3 || dsm < 3 {
+			t.Errorf("%s: hardware-coherent speedups too low: smp %.2f dsm %.2f", app, smp, dsm)
+		}
+	}
+	for _, app := range []string{"ocean", "raytrace"} {
+		if s := speed(t, r, app, versionName(app, "orig"), "svm"); s >= 1 {
+			t.Errorf("%s original on SVM = %.2f, paper finds it below a uniprocessor", app, s)
+		}
+	}
+}
+
+// §4: on SVM, the final algorithmic version beats the original decisively
+// for every application except Radix (where nothing really helps).
+func TestClaimAlgorithmicVersionsWinOnSVM(t *testing.T) {
+	r := claimRunner(t)
+	finals := map[string]string{
+		"lu": "4da", "ocean": "rows", "volrend": "balanced",
+		"shearwarp": "opt", "raytrace": "nolock", "barnes": "spatial",
+	}
+	for app, final := range finals {
+		so := speed(t, r, app, versionName(app, "orig"), "svm")
+		sf := speed(t, r, app, final, "svm")
+		if sf <= so*1.2 {
+			t.Errorf("%s: final version %.2f not well above orig %.2f on SVM", app, sf, so)
+		}
+	}
+}
+
+func versionName(app, v string) string {
+	if app == "barnes" && v == "orig" {
+		return "splash"
+	}
+	return v
+}
+
+// §6: "Simple padding and alignment of data structures to page granularity
+// is not the answer" — P/A alone never delivers a large SVM win.
+func TestClaimPaddingAloneIsNotTheAnswer(t *testing.T) {
+	r := claimRunner(t)
+	for _, app := range []string{"lu", "ocean", "volrend", "radix"} {
+		so := speed(t, r, app, versionName(app, "orig"), "svm")
+		sp := speed(t, r, app, "pad", "svm")
+		if sp > so*1.5 {
+			t.Errorf("%s: padding alone gives %.2f vs orig %.2f — too good, contradicts the paper", app, sp, so)
+		}
+	}
+}
+
+// §5: the SVM optimizations are performance-portable — on the hardware
+// platforms they do not hurt much (and usually help a little).
+func TestClaimPortability(t *testing.T) {
+	r := claimRunner(t)
+	finals := map[string]string{
+		"lu": "4da", "ocean": "rows", "shearwarp": "opt",
+		"raytrace": "nolock",
+	}
+	for app, final := range finals {
+		for _, plat := range []string{"smp", "dsm"} {
+			so := speed(t, r, app, versionName(app, "orig"), plat)
+			sf := speed(t, r, app, final, plat)
+			if sf < so*0.8 {
+				t.Errorf("%s on %s: optimized %.2f badly hurts vs orig %.2f — not portable", app, plat, sf, so)
+			}
+		}
+	}
+	// The paper's caveat (§5): optimizations that compromise load balance
+	// to improve communication/synchronization CAN hurt on hardware
+	// coherence. Barnes-Spatial (equal subspaces, imbalanced builds) is
+	// that case — it must stay within a moderate band of the original,
+	// not collapse, and it must still win big on SVM.
+	for _, plat := range []string{"smp", "dsm"} {
+		so := speed(t, r, "barnes", "splash", plat)
+		sf := speed(t, r, "barnes", "spatial", plat)
+		if sf < so*0.5 {
+			t.Errorf("barnes on %s: spatial %.2f collapsed vs orig %.2f", plat, sf, so)
+		}
+	}
+}
+
+// Figure 17: turning stealing off helps (slightly) on SVM but hurts on the
+// hardware-coherent DSM, where stealing is cheap and load balance wins.
+func TestClaimFig17StealingCrossover(t *testing.T) {
+	r := claimRunner(t)
+	svmSteal := speed(t, r, "volrend", "balanced", "svm")
+	svmNo := speed(t, r, "volrend", "nosteal", "svm")
+	dsmSteal := speed(t, r, "volrend", "balanced", "dsm")
+	dsmNo := speed(t, r, "volrend", "nosteal", "dsm")
+	if svmNo < svmSteal*0.95 {
+		t.Errorf("SVM: nosteal %.2f well below stealing %.2f; paper finds nosteal at least as good", svmNo, svmSteal)
+	}
+	if dsmSteal < dsmNo {
+		t.Errorf("DSM: stealing %.2f below nosteal %.2f; stealing is cheap and effective on hardware", dsmSteal, dsmNo)
+	}
+}
+
+// Figure 11: lock wait dominates the original Raytrace on SVM.
+func TestClaimRaytraceLockWaitDominates(t *testing.T) {
+	r := claimRunner(t)
+	run, err := r.Run("raytrace", "orig", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DominantCategory(run); got != stats.LockWait {
+		t.Errorf("dominant category = %v, want LockWait (paper Fig. 11)", got)
+	}
+}
+
+// Figure 15: Radix on SVM is dominated by communication (data wait,
+// handlers, barriers), not compute.
+func TestClaimRadixCommunicationBound(t *testing.T) {
+	r := claimRunner(t)
+	run, err := r.Run("radix", "orig", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := run.TotalCycles(stats.DataWait) + run.TotalCycles(stats.BarrierWait) + run.TotalCycles(stats.Handler)
+	if comp := run.TotalCycles(stats.Compute); comm < 3*comp {
+		t.Errorf("communication %d not well above compute %d (paper Fig. 15)", comm, comp)
+	}
+}
+
+// §4.2.4: tree building, ~2%% of sequential time, balloons under SVM with
+// the shared-tree algorithm, and the spatial redesign shrinks it again.
+func TestClaimBarnesTreeBuildBalloons(t *testing.T) {
+	r := claimRunner(t)
+	shared, err := r.Run("barnes", "splash2", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spatial, err := r.Run("barnes", "spatial", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := float64(shared.PhaseTimes["treebuild"]) / float64(shared.EndTime*uint64(shared.NumProcs))
+	fo := float64(spatial.PhaseTimes["treebuild"]) / float64(spatial.EndTime*uint64(spatial.NumProcs))
+	if fs < 0.10 {
+		t.Errorf("shared-tree build share %.2f too small; paper reports 43%%", fs)
+	}
+	if fo >= fs {
+		t.Errorf("spatial build share %.2f not below shared %.2f", fo, fs)
+	}
+}
+
+// §4.2.1/§4.2.3: the FreeCSFaults diagnostic — making page faults inside
+// critical sections free recovers most of the lost performance for the
+// lock-bound applications.
+func TestClaimFreeCSFaultsDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	normal, err := Execute(Spec{App: "raytrace", Version: "orig", Platform: "svm", NumProcs: 16, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Execute(Spec{App: "raytrace", Version: "orig", Platform: "svm", NumProcs: 16, Scale: 1, FreeCSFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(free.EndTime) > 0.5*float64(normal.EndTime) {
+		t.Errorf("free-CS-faults run %d not far below normal %d; dilation effect missing", free.EndTime, normal.EndTime)
+	}
+}

@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// BaseScale gives each application's default problem-size scale for figure
+// regeneration, chosen to track the paper's inputs while simulating in
+// reasonable time: LU 512x512 (paper 1024: pass -scale 2), Ocean 514-class
+// grids, Volrend/Shear-Warp 256-class images (paper's 256x225 head),
+// Raytrace 128x128 (the paper's exact image), Barnes 4K bodies (paper 16K:
+// pass -scale 4), Radix 512K keys (paper 4M: pass -scale 8).
+var BaseScale = map[string]float64{
+	"lu":        2,
+	"ocean":     2,
+	"volrend":   2,
+	"shearwarp": 2,
+	"raytrace":  1,
+	"barnes":    2,
+	"radix":     2,
+}
+
+func (r *Runner) scaleFor(app string) float64 {
+	s := r.Scale
+	if s == 0 {
+		s = 1
+	}
+	if b, ok := BaseScale[app]; ok {
+		return b * s
+	}
+	return s
+}
+
+// Figure is one regenerable experiment from the paper.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (string, error)
+}
+
+type breakdownSpec struct {
+	id, title, app, version string
+}
+
+var breakdowns = []breakdownSpec{
+	{"fig3", "Execution time breakdown of LU contiguous version without padding/alignment", "lu", "4d"},
+	{"fig4", "Execution time breakdown of Ocean contiguous version", "ocean", "4d"},
+	{"fig5", "Execution time breakdown of Ocean row-wise version", "ocean", "rows"},
+	{"fig6", "Execution time breakdown of Volrend for the SPLASH-2 version", "volrend", "orig"},
+	{"fig7", "Execution time breakdown of Volrend with a more balanced task partition algorithm and stealing", "volrend", "balanced"},
+	{"fig8", "Execution time breakdown of Volrend with a more balanced task partition algorithm and no stealing", "volrend", "nosteal"},
+	{"fig9", "Execution time breakdown of original Shear-Warp", "shearwarp", "orig"},
+	{"fig10", "Execution time breakdown of optimized Shear-Warp", "shearwarp", "opt"},
+	{"fig11", "Execution time breakdown of Raytrace for the SPLASH-2 version", "raytrace", "orig"},
+	{"fig12", "Execution time breakdown of optimized Raytrace", "raytrace", "splitq"},
+	{"fig13", "Execution time breakdown of Barnes for SPLASH-2 version", "barnes", "splash2"},
+	{"fig14", "Execution time breakdown of Barnes for spatial version", "barnes", "spatial"},
+	{"fig15", "Execution time breakdown of Radix for SPLASH-2 version", "radix", "orig"},
+}
+
+// Figures returns every regenerable figure in paper order.
+func Figures() []Figure {
+	figs := []Figure{
+		{ID: "fig2", Title: "Speedups for the original versions across the shared address space multiprocessors", Run: fig2},
+	}
+	for _, b := range breakdowns {
+		b := b
+		figs = append(figs, Figure{ID: b.id, Title: b.title, Run: func(r *Runner) (string, error) {
+			run, err := r.Run(b.app, b.version, "svm")
+			if err != nil {
+				return "", err
+			}
+			return run.BreakdownTable(), nil
+		}})
+	}
+	figs = append(figs,
+		Figure{ID: "fig16", Title: "Performance with different optimization classes across shared-address-space multiprocessors", Run: fig16},
+		Figure{ID: "fig17", Title: "Speedups of Volrend with the algorithmic optimization with and without stealing on SVM and CC-NUMA DSM", Run: fig17},
+	)
+	return figs
+}
+
+// FindFigure returns the figure with the given ID.
+func FindFigure(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("harness: unknown figure %q", id)
+}
+
+func fig2(r *Runner) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "app")
+	for _, pl := range platform.Names {
+		fmt.Fprintf(&b, " %8s", pl)
+	}
+	fmt.Fprintln(&b)
+	for _, app := range core.Apps() {
+		a, _ := core.Lookup(app)
+		orig := a.Versions()[0].Name
+		fmt.Fprintf(&b, "%-10s", app)
+		for _, pl := range platform.Names {
+			s, err := r.Speedup(app, orig, pl)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " %8.2f", s)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+func fig16(r *Runner) (string, error) {
+	var b strings.Builder
+	for _, app := range core.Apps() {
+		a, _ := core.Lookup(app)
+		fmt.Fprintf(&b, "%s:\n", app)
+		fmt.Fprintf(&b, "  %-12s %-5s", "version", "class")
+		for _, pl := range platform.Names {
+			fmt.Fprintf(&b, " %8s", pl)
+		}
+		fmt.Fprintln(&b)
+		for _, v := range a.Versions() {
+			fmt.Fprintf(&b, "  %-12s %-5s", v.Name, v.Class)
+			for _, pl := range platform.Names {
+				s, err := r.Speedup(app, v.Name, pl)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, " %8.2f", s)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String(), nil
+}
+
+func fig17(r *Runner) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "version", "svm", "dsm")
+	for _, v := range []string{"balanced", "nosteal"} {
+		fmt.Fprintf(&b, "%-10s", v)
+		for _, pl := range []string{"svm", "dsm"} {
+			s, err := r.Speedup("volrend", v, pl)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " %8.2f", s)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+// HeadlineSpeedups renders the paper's §4 per-application progression on
+// SVM: every version's speedup in order, so the optimization story can be
+// read off directly.
+func HeadlineSpeedups(r *Runner) (string, error) {
+	var b strings.Builder
+	apps := core.Apps()
+	sort.Strings(apps)
+	for _, app := range apps {
+		a, _ := core.Lookup(app)
+		fmt.Fprintf(&b, "%-10s", app)
+		for _, v := range a.Versions() {
+			s, err := r.Speedup(app, v.Name, "svm")
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  %s=%.2f", v.Name, s)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+// DominantCategory returns the breakdown category with the largest aggregate
+// share in a run — used by tests asserting "lock wait dominates" style
+// claims.
+func DominantCategory(run *stats.Run) stats.Category {
+	best := stats.Compute
+	var bestV uint64
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		if v := run.TotalCycles(c); v > bestV {
+			bestV = v
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+// Package harness executes experiments: it lays out an application version
+// in a fresh simulated address space, binds the chosen platform model, runs
+// the SPMD body, verifies the computed result, and computes speedups with
+// the paper's convention — the speedup of any optimized version is the
+// simulated uniprocessor time of the ORIGINAL version divided by the
+// P-processor time of the optimized version (§2.1.3).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Spec names one simulated execution.
+type Spec struct {
+	App      string
+	Version  string
+	Platform string
+	NumProcs int
+	Scale    float64
+	// FreeCSFaults enables the paper's critical-section diagnostic.
+	FreeCSFaults bool
+	// SkipVerify skips result verification (benchmarks re-running a
+	// version many times).
+	SkipVerify bool
+}
+
+func (s Spec) label() string {
+	return fmt.Sprintf("%s/%s on %s (P=%d)", s.App, s.Version, s.Platform, s.NumProcs)
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.NumProcs == 0 {
+		s.NumProcs = 16
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Version == "" {
+		s.Version = "orig"
+	}
+	if s.Platform == "" {
+		s.Platform = "svm"
+	}
+	return s
+}
+
+// Execute runs one experiment and returns its statistics.
+func Execute(s Spec) (*stats.Run, error) {
+	run, _, err := execute(s, false)
+	return run, err
+}
+
+// ExecuteProfiled runs one experiment with the SVM hot-page/hot-lock
+// profiler enabled (§6's wished-for performance tool) and returns the
+// profile report alongside the statistics. On the hardware platforms the
+// report is empty.
+func ExecuteProfiled(s Spec) (*stats.Run, string, error) {
+	return execute(s, true)
+}
+
+func execute(s Spec, profile bool) (*stats.Run, string, error) {
+	s = s.withDefaults()
+	a, err := core.Lookup(s.App)
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := core.FindVersion(a, s.Version); err != nil {
+		return nil, "", err
+	}
+	as := mem.NewAddressSpace(platform.PageSize, s.NumProcs)
+	inst, err := a.Build(s.Version, s.Scale, as, s.NumProcs)
+	if err != nil {
+		return nil, "", err
+	}
+	pl, err := platform.Make(s.Platform, as, s.NumProcs)
+	if err != nil {
+		return nil, "", err
+	}
+	prof, _ := pl.(interface {
+		EnableProfiling()
+		ProfileReport(n int) string
+	})
+	if profile && prof != nil {
+		prof.EnableProfiling()
+	}
+	k := sim.New(pl, sim.Config{NumProcs: s.NumProcs, FreeCSFaults: s.FreeCSFaults})
+	run := k.Run(s.label(), inst.Body)
+	if !s.SkipVerify {
+		if err := inst.Verify(); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", s.label(), err)
+		}
+	}
+	report := ""
+	if profile && prof != nil {
+		report = prof.ProfileReport(10)
+	}
+	return run, report, nil
+}
+
+// Runner executes experiments with a cache of uniprocessor baselines. Scale
+// is a multiplier applied on top of each application's BaseScale.
+type Runner struct {
+	NumProcs int
+	Scale    float64
+
+	t1   map[string]uint64      // app/platform -> uniprocessor orig time
+	runs map[string]*stats.Run  // full spec label -> run
+}
+
+// NewRunner creates a Runner for the given processor count and scale.
+func NewRunner(np int, scale float64) *Runner {
+	return &Runner{
+		NumProcs: np,
+		Scale:    scale,
+		t1:       map[string]uint64{},
+		runs:     map[string]*stats.Run{},
+	}
+}
+
+// Run executes (and memoizes) an experiment for this runner's processor
+// count and scale.
+func (r *Runner) Run(app, version, plat string) (*stats.Run, error) {
+	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app)}
+	key := s.label()
+	if run, ok := r.runs[key]; ok {
+		return run, nil
+	}
+	run, err := Execute(s)
+	if err != nil {
+		return nil, err
+	}
+	r.runs[key] = run
+	return run, nil
+}
+
+// Record inserts an externally-executed run into the memo cache (used by the
+// CLI to avoid re-running the experiment it just printed).
+func (r *Runner) Record(app, version, plat string, run *stats.Run) {
+	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app)}
+	r.runs[s.label()] = run
+}
+
+// Baseline returns the uniprocessor execution time of the original version
+// of app on plat (the paper's speedup denominator source).
+func (r *Runner) Baseline(app, plat string) (uint64, error) {
+	key := app + "@" + plat
+	if t, ok := r.t1[key]; ok {
+		return t, nil
+	}
+	a, err := core.Lookup(app)
+	if err != nil {
+		return 0, err
+	}
+	origName := a.Versions()[0].Name
+	run, err := Execute(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app)})
+	if err != nil {
+		return 0, err
+	}
+	r.t1[key] = run.EndTime
+	return run.EndTime, nil
+}
+
+// Speedup returns T1(orig)/Tp(version) on the given platform.
+func (r *Runner) Speedup(app, version, plat string) (float64, error) {
+	t1, err := r.Baseline(app, plat)
+	if err != nil {
+		return 0, err
+	}
+	run, err := r.Run(app, version, plat)
+	if err != nil {
+		return 0, err
+	}
+	if run.EndTime == 0 {
+		return 0, fmt.Errorf("harness: zero execution time for %s/%s on %s", app, version, plat)
+	}
+	return float64(t1) / float64(run.EndTime), nil
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	_ "repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestExecuteUnknownAppAndVersion(t *testing.T) {
+	if _, err := Execute(Spec{App: "nope"}); err == nil {
+		t.Error("expected error for unknown app")
+	}
+	if _, err := Execute(Spec{App: "lu", Version: "nope"}); err == nil {
+		t.Error("expected error for unknown version")
+	}
+	if _, err := Execute(Spec{App: "lu", Version: "orig", Platform: "vax"}); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestExecuteDefaults(t *testing.T) {
+	run, err := Execute(Spec{App: "radix", Scale: 0.25, NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.NumProcs != 4 {
+		t.Errorf("procs = %d, want 4", run.NumProcs)
+	}
+	if run.EndTime == 0 {
+		t.Error("zero end time")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(4, 0.125)
+	a, err := r.Run("radix", "orig", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("radix", "orig", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Run did not return the memoized result")
+	}
+}
+
+func TestSpeedupUsesOrigBaseline(t *testing.T) {
+	r := NewRunner(4, 0.125)
+	s1, err := r.Speedup("radix", "orig", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Speedup("radix", "local", "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both share the same T1(orig): ratio of speedups = inverse ratio of
+	// run times.
+	ro, _ := r.Run("radix", "orig", "svm")
+	rl, _ := r.Run("radix", "local", "svm")
+	want := float64(ro.EndTime) / float64(rl.EndTime)
+	if got := s2 / s1; got < want*0.999 || got > want*1.001 {
+		t.Errorf("speedup ratio %.4f, want %.4f", got, want)
+	}
+}
+
+func TestFiguresRegistryComplete(t *testing.T) {
+	figs := Figures()
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"}
+	if len(figs) != len(want) {
+		t.Fatalf("%d figures registered, want %d", len(figs), len(want))
+	}
+	for i, id := range want {
+		if figs[i].ID != id {
+			t.Errorf("figure %d = %s, want %s", i, figs[i].ID, id)
+		}
+	}
+	if _, err := FindFigure("fig99"); err == nil {
+		t.Error("expected error for unknown figure")
+	}
+}
+
+func TestBreakdownFiguresCoverRegisteredVersions(t *testing.T) {
+	for _, b := range breakdowns {
+		a, err := core.Lookup(b.app)
+		if err != nil {
+			t.Fatalf("%s: %v", b.id, err)
+		}
+		if _, err := core.FindVersion(a, b.version); err != nil {
+			t.Errorf("%s: %v", b.id, err)
+		}
+	}
+}
+
+func TestBreakdownFigureRuns(t *testing.T) {
+	f, err := FindFigure("fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(4, 0.125)
+	out, err := f.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Compute") || !strings.Contains(out, "DataWait") {
+		t.Errorf("breakdown table missing category headers:\n%s", out)
+	}
+}
+
+func TestDominantCategory(t *testing.T) {
+	run := stats.NewRun("x", 2)
+	run.Procs[0].Cycles[stats.LockWait] = 100
+	run.Procs[1].Cycles[stats.LockWait] = 200
+	run.Procs[0].Cycles[stats.Compute] = 50
+	if got := DominantCategory(run); got != stats.LockWait {
+		t.Errorf("dominant = %v, want LockWait", got)
+	}
+}

@@ -1,0 +1,48 @@
+// Package platform assembles the three machine models of the paper as named
+// presets: "svm" (page-grained shared virtual memory, HLRC), "smp" (bus-based
+// hardware cache coherence, SGI Challenge-like) and "dsm" (CC-NUMA hardware
+// cache coherence with a distributed directory).
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/dsm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/smp"
+	"repro/internal/svm"
+	"repro/internal/svmsmp"
+)
+
+// Names lists the paper's three platforms in paper order; the figures
+// iterate over these. The §7 future-work preset "svmsmp" (SMP nodes
+// connected by SVM) is additionally available through Make.
+var Names = []string{"svm", "smp", "dsm"}
+
+// PageSize is the allocation/placement granularity shared by all presets:
+// the SVM page size (4 KB), which the DSM preset also uses as its memory
+// placement granularity.
+const PageSize = 4096
+
+// Make builds the named platform over the given address space.
+func Make(name string, as *mem.AddressSpace, np int) (sim.Platform, error) {
+	switch name {
+	case "svm":
+		return svm.New(as, svm.DefaultParams(), np), nil
+	case "dsm":
+		return dsm.New(as, dsm.DefaultParams(), np), nil
+	case "smp":
+		return smp.New(as, smp.DefaultParams(), np), nil
+	case "svmsmp":
+		// The paper's §7 future-work hierarchy: SMP nodes of four
+		// processors connected by SVM.
+		return svmsmp.New(as, svmsmp.DefaultParams(), np), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown preset %q (want one of %v)", name, Names)
+	}
+}
+
+// IsHardwareCoherent reports whether the preset models hardware cache
+// coherence (fine-grained), as opposed to page-grained software coherence.
+func IsHardwareCoherent(name string) bool { return name == "smp" || name == "dsm" }

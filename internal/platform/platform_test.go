@@ -1,0 +1,36 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestMakeAllPresets(t *testing.T) {
+	for _, name := range append(append([]string{}, Names...), "svmsmp") {
+		as := mem.NewAddressSpace(PageSize, 8)
+		pl, err := Make(name, as, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pl.Name() != name {
+			t.Errorf("%s preset reports name %q", name, pl.Name())
+		}
+	}
+}
+
+func TestMakeUnknown(t *testing.T) {
+	as := mem.NewAddressSpace(PageSize, 2)
+	if _, err := Make("vax", as, 2); err == nil {
+		t.Error("expected error for unknown preset")
+	}
+}
+
+func TestIsHardwareCoherent(t *testing.T) {
+	if IsHardwareCoherent("svm") || IsHardwareCoherent("svmsmp") {
+		t.Error("page-grained platforms misclassified as hardware-coherent")
+	}
+	if !IsHardwareCoherent("smp") || !IsHardwareCoherent("dsm") {
+		t.Error("hardware platforms misclassified")
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Config controls a simulated run.
+type Config struct {
+	// NumProcs is the number of simulated processors.
+	NumProcs int
+	// Quantum bounds how far a processor's clock may run ahead of the
+	// next-ready processor before it must yield at a checkpoint. Smaller
+	// quanta give tighter event ordering at higher handoff cost.
+	// Defaults to 2000 cycles.
+	Quantum uint64
+	// BarrierManager is the processor charged with centralized barrier
+	// protocol work (the paper's LU analysis hinges on processor 10 being
+	// the manager of the most important barrier). Defaults to NumProcs-6
+	// when NumProcs >= 8 (so 10 for 16 processors), else 0.
+	BarrierManager int
+	// FreeCSFaults, when true, makes data-access costs inside critical
+	// sections free — the paper's diagnostic for critical-section
+	// dilation ("we pretended in the simulator that the page faults
+	// within the critical sections are free").
+	FreeCSFaults bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumProcs <= 0 {
+		c.NumProcs = 1
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 2000
+	}
+	if c.BarrierManager == 0 && c.NumProcs >= 8 {
+		c.BarrierManager = c.NumProcs - 6
+	}
+	if c.BarrierManager >= c.NumProcs {
+		c.BarrierManager = c.NumProcs - 1
+	}
+	return c
+}
+
+type procState int
+
+const (
+	stReady procState = iota
+	stRunning
+	stParked
+	stDone
+)
+
+type lockState struct {
+	held       bool
+	holder     int
+	prevHolder int
+	freeAt     uint64 // earliest grantable time once released
+	queue      []*lockWaiter
+}
+
+type lockWaiter struct {
+	p         *Proc
+	reqStart  uint64 // clock when Lock() was called
+	reqReady  uint64 // reqStart + request cost
+}
+
+type barrierState struct {
+	arrivals []uint64 // completed arrival time per proc; 0 = not arrived
+	waiting  []*Proc
+	count    int
+	epoch    uint64
+}
+
+// Kernel is the deterministic cooperative scheduler binding application
+// processes to a Platform.
+type Kernel struct {
+	cfg  Config
+	plat Platform
+	run  *stats.Run
+
+	procs   []*Proc
+	yield   chan *Proc
+	horizon uint64 // clock of the next-min ready proc while one runs
+
+	pendingHandler []uint64 // handler debt charged by remote protocol work
+	locksHeld      []int    // nesting depth of locks held per proc
+	locks          map[int]*lockState
+	bar            barrierState
+
+	running bool
+}
+
+// New creates a kernel for the given platform and configuration.
+func New(plat Platform, cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		cfg:            cfg,
+		plat:           plat,
+		yield:          make(chan *Proc),
+		pendingHandler: make([]uint64, cfg.NumProcs),
+		locksHeld:      make([]int, cfg.NumProcs),
+		locks:          map[int]*lockState{},
+	}
+	k.bar.arrivals = make([]uint64, cfg.NumProcs)
+	return k
+}
+
+// NumProcs returns the number of simulated processors.
+func (k *Kernel) NumProcs() int { return k.cfg.NumProcs }
+
+// Config returns the run configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Counters returns processor p's event counters for platform updates.
+func (k *Kernel) Counters(p int) *stats.Counters { return &k.run.Procs[p].Counters }
+
+// LocksHeld returns how many locks processor p currently holds.
+func (k *Kernel) LocksHeld(p int) int { return k.locksHeld[p] }
+
+// ChargeHandler charges protocol handler work performed on behalf of others
+// to processor node (e.g. a home node applying a diff or serving a page).
+// The debt is folded into node's clock and Handler time the next time it
+// runs, modelling interrupt-style message handling.
+func (k *Kernel) ChargeHandler(node int, cycles uint64) {
+	if node < 0 || node >= k.cfg.NumProcs {
+		return
+	}
+	k.pendingHandler[node] += cycles
+}
+
+// Run executes body once per simulated processor and returns the collected
+// statistics. name labels the resulting stats.Run.
+func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
+	if k.running {
+		panic("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	k.run = stats.NewRun(name, k.cfg.NumProcs)
+	k.plat.Attach(k)
+	for i := range k.pendingHandler {
+		k.pendingHandler[i] = 0
+		k.locksHeld[i] = 0
+	}
+	k.locks = map[int]*lockState{}
+	k.bar = barrierState{arrivals: make([]uint64, k.cfg.NumProcs)}
+
+	k.procs = make([]*Proc, k.cfg.NumProcs)
+	for i := 0; i < k.cfg.NumProcs; i++ {
+		p := &Proc{id: i, k: k, resume: make(chan struct{})}
+		k.procs[i] = p
+		go func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					p.panicked = r
+				}
+				p.op = opDone
+				k.yield <- p
+			}()
+			<-p.resume
+			body(p)
+		}(p)
+	}
+
+	live := k.cfg.NumProcs
+	for live > 0 {
+		p := k.pickReady()
+		if p == nil {
+			panic("sim: deadlock — no runnable processor\n" + k.stateDump())
+		}
+		k.applyDebt(p)
+		p.state = stRunning
+		p.sliceStart = p.clock
+		p.resume <- struct{}{}
+		q := <-k.yield
+		switch q.op {
+		case opYield:
+			q.state = stReady
+		case opPark:
+			// state already stParked, set by the blocking path.
+		case opDone:
+			q.state = stDone
+			live--
+			if q.panicked != nil {
+				// Drain remaining procs' goroutines? They are
+				// blocked on resume; the process is aborting.
+				panic(fmt.Sprintf("sim: processor %d panicked: %v", q.id, q.panicked))
+			}
+		}
+	}
+
+	var end uint64
+	for _, p := range k.procs {
+		k.applyDebt(p)
+		if p.clock > end {
+			end = p.clock
+		}
+	}
+	k.run.EndTime = end
+	return k.run
+}
+
+// pickReady returns the ready processor with the smallest clock (ties by id)
+// and records the runner-up clock as the yield horizon.
+func (k *Kernel) pickReady() *Proc {
+	var best *Proc
+	second := ^uint64(0)
+	for _, p := range k.procs {
+		if p.state != stReady {
+			continue
+		}
+		if best == nil || p.clock < best.clock {
+			if best != nil && best.clock < second {
+				second = best.clock
+			}
+			best = p
+		} else if p.clock < second {
+			second = p.clock
+		}
+	}
+	k.horizon = second
+	return best
+}
+
+// noteReady marks p runnable and lowers the current yield horizon so the
+// running processor yields to p at its next checkpoint. Without this, a
+// processor that wakes others (last barrier arriver, lock releaser) could
+// keep running unboundedly in host order while the woken processors'
+// virtual clocks fall behind.
+func (k *Kernel) noteReady(p *Proc) {
+	p.state = stReady
+	if p.clock < k.horizon {
+		k.horizon = p.clock
+	}
+}
+
+func (k *Kernel) applyDebt(p *Proc) {
+	if d := k.pendingHandler[p.id]; d > 0 {
+		p.clock += d
+		k.run.Procs[p.id].Cycles[stats.Handler] += d
+		k.pendingHandler[p.id] = 0
+	}
+}
+
+func (k *Kernel) stateDump() string {
+	var b strings.Builder
+	for _, p := range k.procs {
+		fmt.Fprintf(&b, "proc %d: state=%d clock=%d\n", p.id, p.state, p.clock)
+	}
+	fmt.Fprintf(&b, "barrier: %d arrived\n", k.bar.count)
+	for id, l := range k.locks {
+		if l.held || len(l.queue) > 0 {
+			fmt.Fprintf(&b, "lock %d: held=%v holder=%d waiters=%d\n", id, l.held, l.holder, len(l.queue))
+		}
+	}
+	return b.String()
+}
+
+// lockFor returns (creating if needed) the state for lock id.
+func (k *Kernel) lockFor(id int) *lockState {
+	l, ok := k.locks[id]
+	if !ok {
+		l = &lockState{holder: -1, prevHolder: -1}
+		k.locks[id] = l
+	}
+	return l
+}

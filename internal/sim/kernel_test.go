@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestComputeAccounting(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 4})
+	run := k.Run("compute", func(p *Proc) {
+		p.Compute(uint64(100 * (p.ID() + 1)))
+	})
+	for i := 0; i < 4; i++ {
+		want := uint64(100 * (i + 1))
+		if got := run.Procs[i].Cycles[stats.Compute]; got != want {
+			t.Errorf("proc %d compute = %d, want %d", i, got, want)
+		}
+	}
+	if run.EndTime != 400 {
+		t.Errorf("end time = %d, want 400", run.EndTime)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 8})
+	after := make([]uint64, 8)
+	run := k.Run("barrier", func(p *Proc) {
+		p.Compute(uint64(10 * (p.ID() + 1)))
+		p.Barrier()
+		after[p.ID()] = p.Now()
+	})
+	// With a nop platform everyone departs at the max arrival time (80).
+	for i, a := range after {
+		if a != 80 {
+			t.Errorf("proc %d clock after barrier = %d, want 80", i, a)
+		}
+	}
+	// Barrier wait = 80 - own arrival.
+	for i := 0; i < 8; i++ {
+		want := uint64(80 - 10*(i+1))
+		if got := run.Procs[i].Cycles[stats.BarrierWait]; got != want {
+			t.Errorf("proc %d barrier wait = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMultipleBarriers(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 4})
+	k.Run("barriers", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Compute(uint64(p.ID() + 1))
+			p.Barrier()
+		}
+	})
+}
+
+func TestLockMutualExclusionInVirtualTime(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 8})
+	var intervals [][2]uint64
+	k.Run("lock", func(p *Proc) {
+		p.Compute(uint64(5 * p.ID()))
+		p.Lock(1)
+		start := p.Now()
+		p.Compute(100)
+		intervals = append(intervals, [2]uint64{start, p.Now()})
+		p.Unlock(1)
+	})
+	if len(intervals) != 8 {
+		t.Fatalf("got %d critical sections, want 8", len(intervals))
+	}
+	for i := range intervals {
+		for j := i + 1; j < len(intervals); j++ {
+			a, b := intervals[i], intervals[j]
+			if a[0] < b[1] && b[0] < a[1] {
+				t.Errorf("critical sections overlap in virtual time: %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestLockCriticalSectionSerializes(t *testing.T) {
+	// 4 procs each hold the lock for 100 cycles; the last to finish must
+	// have clock >= 400.
+	k := New(&NopPlatform{}, Config{NumProcs: 4})
+	var maxEnd uint64
+	run := k.Run("serialize", func(p *Proc) {
+		p.Lock(7)
+		p.Compute(100)
+		if p.Now() > maxEnd {
+			maxEnd = p.Now()
+		}
+		p.Unlock(7)
+	})
+	if maxEnd < 400 {
+		t.Errorf("last critical section ends at %d, want >= 400", maxEnd)
+	}
+	var totalWait uint64
+	for i := range run.Procs {
+		totalWait += run.Procs[i].Cycles[stats.LockWait]
+	}
+	// Waiters queue behind 100-cycle sections: 100+200+300 = 600.
+	if totalWait != 600 {
+		t.Errorf("total lock wait = %d, want 600", totalWait)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	body := func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Compute(uint64(1 + (p.ID()*7+i)%13))
+			p.Lock(i % 3)
+			p.Compute(10)
+			p.Unlock(i % 3)
+			if i%5 == 0 {
+				p.Barrier()
+			}
+		}
+		p.Barrier()
+	}
+	k1 := New(&NopPlatform{}, Config{NumProcs: 8})
+	r1 := k1.Run("det", body)
+	k2 := New(&NopPlatform{}, Config{NumProcs: 8})
+	r2 := k2.Run("det", body)
+	if r1.EndTime != r2.EndTime {
+		t.Fatalf("end times differ: %d vs %d", r1.EndTime, r2.EndTime)
+	}
+	for i := range r1.Procs {
+		if r1.Procs[i] != r2.Procs[i] {
+			t.Errorf("proc %d stats differ between identical runs", i)
+		}
+	}
+}
+
+func TestHandlerDebt(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 2})
+	run := k.Run("debt", func(p *Proc) {
+		if p.ID() == 0 {
+			p.Compute(10)
+			p.Kernel().ChargeHandler(1, 500)
+		}
+		p.Compute(5)
+		p.Barrier()
+	})
+	if got := run.Procs[1].Cycles[stats.Handler]; got != 500 {
+		t.Errorf("proc 1 handler time = %d, want 500", got)
+	}
+}
+
+func TestKernelReuseAcrossRuns(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 4})
+	r1 := k.Run("a", func(p *Proc) { p.Compute(10); p.Barrier() })
+	r2 := k.Run("b", func(p *Proc) { p.Compute(10); p.Barrier() })
+	if r1.EndTime != r2.EndTime {
+		t.Errorf("reused kernel gives different results: %d vs %d", r1.EndTime, r2.EndTime)
+	}
+}
+
+func TestBarrierManagerDefault(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 16})
+	if k.Config().BarrierManager != 10 {
+		t.Errorf("barrier manager = %d, want 10 (paper's LU analysis)", k.Config().BarrierManager)
+	}
+	k = New(&NopPlatform{}, Config{NumProcs: 4})
+	if k.Config().BarrierManager != 0 {
+		t.Errorf("small-run barrier manager = %d, want 0", k.Config().BarrierManager)
+	}
+}
+
+func TestUnlockNotHeldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unlock of unheld lock")
+		}
+	}()
+	k := New(&NopPlatform{}, Config{NumProcs: 1})
+	k.Run("bad", func(p *Proc) { p.Unlock(3) })
+}

@@ -1,0 +1,130 @@
+// Package sim implements the execution-driven simulation kernel shared by
+// the three platform models. Each simulated processor is a goroutine with a
+// virtual cycle clock; exactly one goroutine runs at a time, and the kernel
+// always resumes the runnable processor with the smallest virtual time.
+// Applications charge compute cycles explicitly and issue simulated memory
+// references and synchronization operations; the bound Platform translates
+// those into stall, wait and protocol-handler cycles following its machine
+// model (SVM/HLRC, CC-NUMA directory, or snooping bus).
+package sim
+
+// AccessCost is the cycle cost of a memory access that required protocol
+// activity, split into the paper's accounting categories.
+type AccessCost struct {
+	// CacheStall is local memory-hierarchy stall (charged to CPU-Cache
+	// Stall Time).
+	CacheStall uint64
+	// DataWait is time waiting for remote data (charged to Data Wait
+	// Time), e.g. a page fetch or a remote 2-/3-hop miss.
+	DataWait uint64
+	// Handler is protocol processing performed by this processor itself
+	// as part of the access (charged to Handler Compute Time), e.g.
+	// creating a twin on the first write to a page.
+	Handler uint64
+}
+
+// Total returns the sum of the components.
+func (c AccessCost) Total() uint64 { return c.CacheStall + c.DataWait + c.Handler }
+
+// Platform is the machine model plugged into the kernel. All methods are
+// invoked with the global single-active-goroutine discipline, so
+// implementations need no internal locking. Times are virtual cycles.
+type Platform interface {
+	// Name identifies the platform ("svm", "dsm", "smp").
+	Name() string
+
+	// Attach binds the platform to a kernel before a run, resetting any
+	// per-run state (caches, page tables, occupancy clocks).
+	Attach(k *Kernel)
+
+	// FastAccess attempts a purely processor-local access (cache hit, or
+	// a local-memory miss with no coherence interaction). It returns the
+	// local stall cycles and ok=true, or ok=false when the access needs
+	// SlowAccess protocol processing.
+	FastAccess(p int, now uint64, addr uint64, write bool) (stall uint64, ok bool)
+
+	// SlowAccess performs an access requiring global protocol activity
+	// (page fault, coherence miss, upgrade). It may charge handler debt
+	// to other processors via the kernel.
+	SlowAccess(p int, now uint64, addr uint64, write bool) AccessCost
+
+	// LockRequest returns the cost of issuing a lock request (charged to
+	// Lock Wait Time).
+	LockRequest(p int, now uint64, lock int) uint64
+
+	// LockGrant performs consistency actions at lock acquisition (e.g.
+	// HLRC write-notice invalidations) and returns their cost.
+	// prevHolder is the last processor to hold the lock, or -1.
+	LockGrant(p int, now uint64, lock int, prevHolder int) uint64
+
+	// LockRelease performs release-side actions (e.g. HLRC diff flush).
+	// sync is charged to Lock Wait Time, handler to Handler Compute Time;
+	// the lock becomes grantable to a waiter freeDelay cycles after the
+	// release completes.
+	LockRelease(p int, now uint64, lock int) (sync, handler, freeDelay uint64)
+
+	// BarrierArrive performs arrival-side work (e.g. flushing diffs to
+	// homes). sync is charged to Barrier Wait Time, handler to Handler
+	// Compute Time.
+	BarrierArrive(p int, now uint64) (sync, handler uint64)
+
+	// BarrierRelease computes the global release time given each
+	// processor's completed arrival time, charging any centralized
+	// manager work (the manager processor is chosen by the kernel).
+	BarrierRelease(arrivals []uint64, manager int) uint64
+
+	// BarrierDepart performs post-barrier consistency actions for p
+	// (e.g. invalidating pages named in received write notices) and
+	// returns their cost (charged to Barrier Wait Time).
+	BarrierDepart(p int, releaseTime uint64) uint64
+}
+
+// NopPlatform is a zero-cost platform used by kernel unit tests: every
+// access is a free local hit and synchronization carries no protocol cost.
+type NopPlatform struct{ k *Kernel }
+
+// Name implements Platform.
+func (n *NopPlatform) Name() string { return "nop" }
+
+// Attach implements Platform.
+func (n *NopPlatform) Attach(k *Kernel) { n.k = k }
+
+// FastAccess implements Platform.
+func (n *NopPlatform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
+	return 0, true
+}
+
+// SlowAccess implements Platform.
+func (n *NopPlatform) SlowAccess(p int, now uint64, addr uint64, write bool) AccessCost {
+	return AccessCost{}
+}
+
+// LockRequest implements Platform.
+func (n *NopPlatform) LockRequest(p int, now uint64, lock int) uint64 { return 0 }
+
+// LockGrant implements Platform.
+func (n *NopPlatform) LockGrant(p int, now uint64, lock int, prev int) uint64 { return 0 }
+
+// LockRelease implements Platform.
+func (n *NopPlatform) LockRelease(p int, now uint64, lock int) (uint64, uint64, uint64) {
+	return 0, 0, 0
+}
+
+// BarrierArrive implements Platform.
+func (n *NopPlatform) BarrierArrive(p int, now uint64) (uint64, uint64) { return 0, 0 }
+
+// BarrierRelease implements Platform.
+func (n *NopPlatform) BarrierRelease(arrivals []uint64, manager int) uint64 {
+	var m uint64
+	for _, a := range arrivals {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// BarrierDepart implements Platform.
+func (n *NopPlatform) BarrierDepart(p int, releaseTime uint64) uint64 { return 0 }
+
+var _ Platform = (*NopPlatform)(nil)

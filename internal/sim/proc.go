@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"repro/internal/stats"
+)
+
+type opKind int
+
+const (
+	opYield opKind = iota // cooperative yield; still ready
+	opPark                // blocked on a lock or barrier
+	opDone                // body returned
+)
+
+// Proc is the handle a simulated process uses to charge compute time, issue
+// memory references and synchronize. All methods must be called from the
+// process's own body function.
+type Proc struct {
+	id    int
+	k     *Kernel
+	clock uint64
+	state procState
+
+	resume     chan struct{}
+	op         opKind
+	sliceStart uint64 // clock at last resume, for quantum bounding
+	panicked   any
+}
+
+// ID returns the processor number (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// NP returns the number of processors in the run.
+func (p *Proc) NP() int { return p.k.cfg.NumProcs }
+
+// Now returns the processor's virtual clock in cycles.
+func (p *Proc) Now() uint64 { return p.clock }
+
+// Kernel returns the owning kernel (for platform-aware applications).
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+func (p *Proc) st() *stats.Proc { return &p.k.run.Procs[p.id] }
+
+// yieldNow hands control back to the scheduler, remaining ready.
+func (p *Proc) yieldNow() {
+	p.op = opYield
+	p.k.yield <- p
+	<-p.resume
+}
+
+// park blocks until another process makes this one ready again.
+func (p *Proc) park() {
+	p.state = stParked
+	p.op = opPark
+	p.k.yield <- p
+	<-p.resume
+}
+
+// checkpoint yields if this processor has run past the next-ready
+// processor's clock and has used up its quantum slice, keeping global event
+// processing in near virtual-time order.
+func (p *Proc) checkpoint() {
+	if p.clock > p.k.horizon && p.clock-p.sliceStart >= p.k.cfg.Quantum {
+		p.yieldNow()
+	}
+}
+
+// syncPoint yields if this processor is ahead of the next-ready processor;
+// called before globally-visible protocol and synchronization events so they
+// process in near virtual-time order regardless of quantum.
+func (p *Proc) syncPoint() {
+	for p.clock > p.k.horizon {
+		p.yieldNow()
+	}
+}
+
+// Compute charges n cycles of application instruction execution.
+func (p *Proc) Compute(n uint64) {
+	p.clock += n
+	p.st().Cycles[stats.Compute] += n
+	p.checkpoint()
+}
+
+// access performs one line-sized reference.
+func (p *Proc) access(addr uint64, write bool) {
+	c := p.st()
+	if write {
+		c.Counters.Writes++
+	} else {
+		c.Counters.Reads++
+	}
+	if stall, ok := p.k.plat.FastAccess(p.id, p.clock, addr, write); ok {
+		p.clock += stall
+		c.Cycles[stats.CacheStall] += stall
+		return
+	}
+	p.syncPoint()
+	cost := p.k.plat.SlowAccess(p.id, p.clock, addr, write)
+	if p.k.cfg.FreeCSFaults && p.k.locksHeld[p.id] > 0 {
+		// Paper diagnostic: faults inside critical sections are free.
+		cost = AccessCost{}
+	}
+	p.clock += cost.Total()
+	c.Cycles[stats.CacheStall] += cost.CacheStall
+	c.Cycles[stats.DataWait] += cost.DataWait
+	c.Cycles[stats.Handler] += cost.Handler
+	p.checkpoint()
+}
+
+// Read issues a read of the (word-sized) datum at addr.
+func (p *Proc) Read(addr uint64) { p.access(addr, false) }
+
+// Write issues a write of the (word-sized) datum at addr.
+func (p *Proc) Write(addr uint64) { p.access(addr, true) }
+
+// rangeAccess touches every cache line overlapping [addr, addr+n).
+func (p *Proc) rangeAccess(addr uint64, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	line := uint64(32)
+	if la, ok := p.k.plat.(interface{ LineSize() int }); ok {
+		line = uint64(la.LineSize())
+	}
+	first := addr &^ (line - 1)
+	end := addr + uint64(n)
+	for a := first; a < end; a += line {
+		p.access(a, write)
+	}
+}
+
+// Stall charges additional CPU-cache stall cycles directly. Applications use
+// it to extrapolate inner-loop reuse misses they have measured with a probe
+// walk, without simulating every repeated access.
+func (p *Proc) Stall(n uint64) {
+	p.clock += n
+	p.st().Cycles[stats.CacheStall] += n
+	p.checkpoint()
+}
+
+// CacheStallCycles returns the accumulated CPU-cache stall time, letting
+// applications measure the cost of a probe walk (see Stall).
+func (p *Proc) CacheStallCycles() uint64 { return p.st().Cycles[stats.CacheStall] }
+
+// ReadRange reads every cache line overlapping [addr, addr+n).
+func (p *Proc) ReadRange(addr uint64, n int) { p.rangeAccess(addr, n, false) }
+
+// WriteRange writes every cache line overlapping [addr, addr+n).
+func (p *Proc) WriteRange(addr uint64, n int) { p.rangeAccess(addr, n, true) }
+
+// Lock acquires the given lock, waiting in virtual time if it is held.
+func (p *Proc) Lock(id int) {
+	p.syncPoint()
+	start := p.clock
+	k := p.k
+	l := k.lockFor(id)
+	reqCost := k.plat.LockRequest(p.id, p.clock, id)
+	c := p.st()
+	c.Counters.LockAcquires++
+	if l.held {
+		l.queue = append(l.queue, &lockWaiter{p: p, reqStart: start, reqReady: start + reqCost})
+		p.park()
+		// grantLock set our clock and charged LockWait before waking us.
+	} else {
+		granted := start + reqCost
+		if l.freeAt > granted {
+			granted = l.freeAt
+		}
+		granted += k.plat.LockGrant(p.id, granted, id, l.prevHolder)
+		l.held = true
+		l.holder = p.id
+		p.clock = granted
+		c.Cycles[stats.LockWait] += granted - start
+	}
+	k.locksHeld[p.id]++
+	p.checkpoint()
+}
+
+// Unlock releases the given lock and hands it to the next waiter, if any.
+func (p *Proc) Unlock(id int) {
+	p.syncPoint()
+	k := p.k
+	l := k.lockFor(id)
+	if !l.held || l.holder != p.id {
+		panic("sim: Unlock of a lock not held by this processor")
+	}
+	sync, handler, freeDelay := k.plat.LockRelease(p.id, p.clock, id)
+	c := p.st()
+	p.clock += sync + handler
+	c.Cycles[stats.LockWait] += sync
+	c.Cycles[stats.Handler] += handler
+	l.held = false
+	l.prevHolder = p.id
+	l.holder = -1
+	l.freeAt = p.clock + freeDelay
+	k.locksHeld[p.id]--
+	if len(l.queue) > 0 {
+		w := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue = l.queue[:len(l.queue)-1]
+		k.grantLock(l, id, w)
+	}
+	p.checkpoint()
+}
+
+// grantLock hands lock id to waiter w: computes the grant time, performs the
+// platform's acquire-side consistency actions, charges the waiter's Lock
+// Wait, and makes it ready.
+func (k *Kernel) grantLock(l *lockState, id int, w *lockWaiter) {
+	granted := w.reqReady
+	if l.freeAt > granted {
+		granted = l.freeAt
+	}
+	granted += k.plat.LockGrant(w.p.id, granted, id, l.prevHolder)
+	l.held = true
+	l.holder = w.p.id
+	w.p.clock = granted
+	k.run.Procs[w.p.id].Cycles[stats.LockWait] += granted - w.reqStart
+	k.noteReady(w.p)
+}
+
+// Barrier joins the global barrier across all processors. The last arrival
+// computes the release time; everyone's Barrier Wait Time covers arrival
+// overhead, the wait for stragglers, and departure consistency actions.
+func (p *Proc) Barrier() {
+	p.syncPoint()
+	k := p.k
+	start := p.clock
+	syncCost, handler := k.plat.BarrierArrive(p.id, p.clock)
+	c := p.st()
+	c.Counters.Barriers++
+	c.Cycles[stats.Handler] += handler
+	c.Cycles[stats.BarrierWait] += syncCost
+	arrived := start + syncCost + handler
+	b := &k.bar
+	b.arrivals[p.id] = arrived
+	b.count++
+	if b.count < k.cfg.NumProcs {
+		b.waiting = append(b.waiting, p)
+		p.clock = arrived
+		p.park()
+		p.checkpoint()
+		return
+	}
+	// Last arrival: release everyone. Waiting from completed arrival to
+	// departure is charged to Barrier Wait (arrival overhead was charged
+	// above; flush work went to Handler).
+	release := k.plat.BarrierRelease(b.arrivals, k.cfg.BarrierManager)
+	for _, q := range b.waiting {
+		depart := release + k.plat.BarrierDepart(q.id, release)
+		k.run.Procs[q.id].Cycles[stats.BarrierWait] += depart - b.arrivals[q.id]
+		q.clock = depart
+		k.noteReady(q)
+	}
+	depart := release + k.plat.BarrierDepart(p.id, release)
+	c.Cycles[stats.BarrierWait] += depart - arrived
+	p.clock = depart
+	b.count = 0
+	b.waiting = b.waiting[:0]
+	b.epoch++
+	for i := range b.arrivals {
+		b.arrivals[i] = 0
+	}
+	p.checkpoint()
+}
+
+// RecordPhase adds cycles to a named phase in the run's phase table.
+func (p *Proc) RecordPhase(name string, cycles uint64) {
+	p.k.run.RecordPhase(name, cycles)
+}
+
+// CountTask records task-queue behaviour for the run (paper's task-stealing
+// analyses).
+func (p *Proc) CountTask(stolen bool) {
+	c := p.st()
+	c.Counters.TasksRun++
+	if stolen {
+		c.Counters.TasksStolen++
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// TestPropertyDeterministicRandomPrograms drives the kernel with randomized
+// SPMD programs (mixed compute, locks, barriers) and checks two invariants:
+// the same program always produces identical statistics, and every clock is
+// consistent with the sum of its breakdown categories.
+func TestPropertyDeterministicRandomPrograms(t *testing.T) {
+	f := func(seed uint32, np8 uint8) bool {
+		np := int(np8)%7 + 2
+		// Barriers must be reached by everyone: the random op choice
+		// depends only on the iteration, not the processor; per-op
+		// amounts vary per processor.
+		prog := func(p *Proc) {
+			s := uint64(seed) + 1
+			for i := 0; i < 30; i++ {
+				s ^= s << 13
+				s ^= s >> 7
+				s ^= s << 17
+				switch s % 4 {
+				case 0:
+					p.Compute((s + uint64(p.ID())*31) % 500)
+				case 1:
+					p.Lock(int(s % 3))
+					p.Compute(s % 100)
+					p.Unlock(int(s % 3))
+				case 2:
+					p.Compute((s * uint64(p.ID()+1)) % 50)
+				case 3:
+					p.Barrier()
+				}
+			}
+			p.Barrier()
+		}
+		r1 := New(&NopPlatform{}, Config{NumProcs: np}).Run("p", prog)
+		r2 := New(&NopPlatform{}, Config{NumProcs: np}).Run("p", prog)
+		if r1.EndTime != r2.EndTime {
+			return false
+		}
+		for i := range r1.Procs {
+			if r1.Procs[i] != r2.Procs[i] {
+				return false
+			}
+			// Per-processor clock consistency: total categories
+			// equal the final clock (everyone ends at the last
+			// barrier's departure, recorded in EndTime modulo
+			// depart deltas; with the nop platform they coincide).
+			if r1.Procs[i].Total() > r1.EndTime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLockWaitConservation: with a nop platform, total lock wait
+// equals total serialization delay, so it can never exceed (np-1) times the
+// longest critical-section sum.
+func TestPropertyLockWaitConservation(t *testing.T) {
+	f := func(np8, cs8 uint8) bool {
+		np := int(np8)%7 + 2
+		cs := uint64(cs8)%400 + 1
+		k := New(&NopPlatform{}, Config{NumProcs: np})
+		run := k.Run("lk", func(p *Proc) {
+			p.Lock(1)
+			p.Compute(cs)
+			p.Unlock(1)
+		})
+		var wait uint64
+		for i := range run.Procs {
+			wait += run.Procs[i].Cycles[stats.LockWait]
+		}
+		// Serial chain: proc i waits i*cs; sum = cs*np*(np-1)/2.
+		want := cs * uint64(np) * uint64(np-1) / 2
+		return wait == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBarrierClockAgreement: after any barrier on the nop platform,
+// all processors hold identical clocks.
+func TestPropertyBarrierClockAgreement(t *testing.T) {
+	f := func(seed uint32, np8 uint8) bool {
+		np := int(np8)%7 + 2
+		clocks := make([]uint64, np)
+		k := New(&NopPlatform{}, Config{NumProcs: np})
+		k.Run("b", func(p *Proc) {
+			p.Compute(uint64(seed%1000) * uint64(p.ID()+1))
+			p.Barrier()
+			clocks[p.ID()] = p.Now()
+		})
+		for _, c := range clocks {
+			if c != clocks[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

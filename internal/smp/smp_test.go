@@ -1,0 +1,113 @@
+package smp
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func setup(np int) (*mem.AddressSpace, *sim.Kernel) {
+	as := mem.NewAddressSpace(4096, np)
+	p := New(as, DefaultParams(), np)
+	k := sim.New(p, sim.Config{NumProcs: np})
+	return as, k
+}
+
+func TestMissThenHit(t *testing.T) {
+	as, k := setup(1)
+	a := as.AllocPages(4096)
+	run := k.Run("hit", func(p *sim.Proc) {
+		p.Read(a)
+		p.Read(a)
+	})
+	c := run.Procs[0].Counters
+	if c.BusTransactions != 1 {
+		t.Errorf("bus transactions = %d, want 1", c.BusTransactions)
+	}
+}
+
+func TestCacheToCacheTransfer(t *testing.T) {
+	as, k := setup(2)
+	a := as.AllocPages(4096)
+	run := k.Run("c2c", func(p *sim.Proc) {
+		if p.ID() == 0 {
+			p.Write(a)
+		}
+		p.Barrier()
+		if p.ID() == 1 {
+			p.Read(a) // supplied cache-to-cache by owner 0
+		}
+		p.Barrier()
+	})
+	if run.Procs[1].Cycles[stats.DataWait] == 0 {
+		t.Error("cache-to-cache transfer charged no data wait")
+	}
+	if got := run.Procs[1].Counters.RemoteMisses; got != 1 {
+		t.Errorf("c2c misses = %d, want 1", got)
+	}
+}
+
+func TestUpgradeInvalidatesSharers(t *testing.T) {
+	as, k := setup(4)
+	a := as.AllocPages(4096)
+	run := k.Run("upg", func(p *sim.Proc) {
+		p.Read(a)
+		p.Barrier()
+		if p.ID() == 2 {
+			p.Write(a)
+		}
+		p.Barrier()
+		p.Read(a)
+		p.Barrier()
+	})
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			continue
+		}
+		if got := run.Procs[i].Counters.BusTransactions; got < 2 {
+			t.Errorf("proc %d bus txns = %d, want >= 2 (re-read after invalidation)", i, got)
+		}
+	}
+}
+
+func TestBusContentionSerializes(t *testing.T) {
+	// All processors streaming misses saturate the bus: per-processor
+	// average transaction time rises well above the unloaded cost.
+	np := 8
+	as, k := setup(np)
+	per := 256 << 10
+	a := as.AllocPages(per * np)
+	run := k.Run("stream", func(p *sim.Proc) {
+		base := a + uint64(p.ID()*per)
+		for off := 0; off < per; off += 128 {
+			p.Read(base + uint64(off))
+		}
+		p.Barrier()
+	})
+	c := run.AggregateCounters()
+	totalStall := run.TotalCycles(stats.CacheStall) + run.TotalCycles(stats.DataWait)
+	perTxn := totalStall / c.BusTransactions
+	unloaded := DefaultParams().BusArb + DefaultParams().BusXfer + DefaultParams().MemLat
+	if perTxn <= unloaded {
+		t.Errorf("no bus contention: %d cycles/txn <= unloaded %d", perTxn, unloaded)
+	}
+}
+
+func TestLocksAreCheapOnSMP(t *testing.T) {
+	_, k := setup(2)
+	run := k.Run("locks", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Lock(1)
+			p.Compute(10)
+			p.Unlock(1)
+			p.Compute(100)
+		}
+		p.Barrier()
+	})
+	perLock := run.TotalCycles(stats.LockWait) / 20
+	if perLock > 1000 {
+		t.Errorf("SMP lock cost %d cycles each, want cheap (<1000)", perLock)
+	}
+}

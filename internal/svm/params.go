@@ -1,0 +1,79 @@
+// Package svm models the paper's shared virtual memory platform: an
+// all-software home-based lazy release consistency (HLRC) protocol over a
+// Myrinet-like commodity interconnect (paper §2.1.1). Nodes are 200 MHz
+// 1-CPI processors with an 8 KB direct-mapped write-through L1 and a 512 KB
+// 2-way L2 (32 B lines); pages are 4 KB; the memory bus peaks at 400 MB/s and
+// the I/O bus carrying network packets at 100 MB/s.
+//
+// Protocol mechanics follow HLRC: every page has a home; writers make a twin
+// on the first write in an interval, compute diffs against the twin at
+// releases, and propagate diffs to the home (only); acquirers receive write
+// notices and lazily invalidate their stale copies; a fault after a causally
+// related acquire fetches the whole page from the home.
+package svm
+
+// Params are the cycle costs of the model, in 200 MHz processor cycles
+// (5 ns). They are chosen to match mid-90s all-software SVM over Myrinet:
+// ~65 µs unloaded page fetches, ~25 µs unloaded lock acquires, barriers
+// costing tens of microseconds plus flush work.
+type Params struct {
+	PageSize uint64
+
+	// Local hierarchy.
+	L2HitCost uint64 // L1 miss satisfied in L2
+	MemCost   uint64 // L2 miss satisfied in local memory
+
+	// Software protocol overheads.
+	FaultOverhead uint64 // kernel trap + SIGSEGV handler entry on a page fault
+	WriteTrap     uint64 // write-protection trap detecting first write to a page
+	TwinCost      uint64 // copying a 4 KB twin
+	DiffCreate    uint64 // comparing a dirty page against its twin
+	DiffApply     uint64 // applying a diff at the home
+	NoticeCost    uint64 // logging/sending one write notice
+	InvalCost     uint64 // invalidating one page at an acquire (incl. mprotect)
+
+	// Messaging.
+	MsgSend    uint64 // software send overhead (host side)
+	MsgRecv    uint64 // software receive/dispatch overhead
+	NetLatency uint64 // wire+switch latency
+	PageXfer   uint64 // I/O-bus occupancy to move one 4 KB page
+	DiffXfer   uint64 // I/O-bus occupancy to move one diff
+
+	// Home-side service.
+	HomeService uint64 // page lookup + reply preparation at the home
+
+	// Synchronization.
+	LockMgrService  uint64 // lock manager processing per request
+	BarrierPerProc  uint64 // manager processing per arrival (notice merge)
+	BarrierBcast    uint64 // release broadcast cost
+}
+
+// DefaultParams returns the paper-calibrated cost model.
+func DefaultParams() Params {
+	return Params{
+		PageSize: 4096,
+
+		L2HitCost: 10,
+		MemCost:   60,
+
+		FaultOverhead: 2000, // ~10 µs trap + handler entry
+		WriteTrap:     2000,
+		TwinCost:      1000, // 4 KB copy over the 400 MB/s memory bus
+		DiffCreate:    1200,
+		DiffApply:     800,
+		NoticeCost:    50,
+		InvalCost:     150,
+
+		MsgSend:    1000, // ~5 µs software messaging each side
+		MsgRecv:    1000,
+		NetLatency: 200, // ~1 µs wire
+		PageXfer:   8192, // 4 KB over the 100 MB/s I/O bus
+		DiffXfer:   1024,
+
+		HomeService: 500,
+
+		LockMgrService: 500,
+		BarrierPerProc: 400,
+		BarrierBcast:   1200,
+	}
+}

@@ -1,0 +1,159 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the performance-debugging facility the paper wishes
+// real SVM systems had (§6): "the detailed simulator served as an excellent
+// though slow performance debugging tool ... Incorporating the ability to
+// deliver such information in real SVM systems would be very useful." The
+// platform keeps per-page fault and per-lock transfer counts so a user can
+// see WHERE the page-grained traffic comes from, not just how much there is.
+
+// PageProfile summarizes the traffic to one page over a run.
+type PageProfile struct {
+	Page     uint64
+	Home     int
+	Fetches  uint64 // remote fetches of this page
+	Diffs    uint64 // diffs applied to its home copy
+	Writers  int    // distinct nodes that dirtied it
+	MaxProcF uint64 // largest per-processor fetch count (imbalance hint)
+}
+
+// LockProfile summarizes the traffic to one lock over a run.
+type LockProfile struct {
+	Lock      int
+	Acquires  uint64
+	Transfers uint64 // acquisitions by a different node than the releaser
+}
+
+// profiler accumulates per-page and per-lock counts during a run.
+type profiler struct {
+	pageFetch map[pageID][]uint64 // page -> per-proc fetch counts
+	pageDiff  map[pageID]uint64
+	pageDirty map[pageID]uint64 // bitmask of writer nodes
+	lockAcq   map[int]uint64
+	lockXfer  map[int]uint64
+}
+
+func newProfiler() *profiler {
+	return &profiler{
+		pageFetch: map[pageID][]uint64{},
+		pageDiff:  map[pageID]uint64{},
+		pageDirty: map[pageID]uint64{},
+		lockAcq:   map[int]uint64{},
+		lockXfer:  map[int]uint64{},
+	}
+}
+
+// EnableProfiling turns on per-page/per-lock accounting for subsequent runs
+// (small host-side cost, no effect on simulated timing).
+func (s *Platform) EnableProfiling() { s.prof = newProfiler() }
+
+func (s *Platform) profFetch(p int, pg pageID) {
+	if s.prof == nil {
+		return
+	}
+	v := s.prof.pageFetch[pg]
+	if v == nil {
+		v = make([]uint64, s.np)
+		s.prof.pageFetch[pg] = v
+	}
+	v[p]++
+}
+
+func (s *Platform) profDirty(p int, pg pageID) {
+	if s.prof == nil {
+		return
+	}
+	s.prof.pageDirty[pg] |= 1 << uint(p)
+}
+
+func (s *Platform) profDiff(pg pageID) {
+	if s.prof == nil {
+		return
+	}
+	s.prof.pageDiff[pg]++
+}
+
+func (s *Platform) profLock(lock int, xfer bool) {
+	if s.prof == nil {
+		return
+	}
+	s.prof.lockAcq[lock]++
+	if xfer {
+		s.prof.lockXfer[lock]++
+	}
+}
+
+// HotPages returns the n most-fetched pages, most-traffic first.
+func (s *Platform) HotPages(n int) []PageProfile {
+	if s.prof == nil {
+		return nil
+	}
+	out := make([]PageProfile, 0, len(s.prof.pageFetch))
+	for pg, per := range s.prof.pageFetch {
+		pp := PageProfile{Page: pg, Home: s.as.Home(pg * s.P.PageSize)}
+		for _, c := range per {
+			pp.Fetches += c
+			if c > pp.MaxProcF {
+				pp.MaxProcF = c
+			}
+		}
+		pp.Diffs = s.prof.pageDiff[pg]
+		for m := s.prof.pageDirty[pg]; m != 0; m &= m - 1 {
+			pp.Writers++
+		}
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fetches != out[j].Fetches {
+			return out[i].Fetches > out[j].Fetches
+		}
+		return out[i].Page < out[j].Page
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// HotLocks returns the n most-acquired locks, busiest first.
+func (s *Platform) HotLocks(n int) []LockProfile {
+	if s.prof == nil {
+		return nil
+	}
+	out := make([]LockProfile, 0, len(s.prof.lockAcq))
+	for l, a := range s.prof.lockAcq {
+		out = append(out, LockProfile{Lock: l, Acquires: a, Transfers: s.prof.lockXfer[l]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Acquires != out[j].Acquires {
+			return out[i].Acquires > out[j].Acquires
+		}
+		return out[i].Lock < out[j].Lock
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ProfileReport renders the top-n hot pages and locks as text.
+func (s *Platform) ProfileReport(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hot pages (top %d):\n", n)
+	fmt.Fprintf(&b, "%10s %5s %8s %8s %8s %8s\n", "page", "home", "fetches", "diffs", "writers", "maxproc")
+	for _, pp := range s.HotPages(n) {
+		fmt.Fprintf(&b, "%10d %5d %8d %8d %8d %8d\n", pp.Page, pp.Home, pp.Fetches, pp.Diffs, pp.Writers, pp.MaxProcF)
+	}
+	fmt.Fprintf(&b, "hot locks (top %d):\n", n)
+	fmt.Fprintf(&b, "%10s %10s %10s\n", "lock", "acquires", "transfers")
+	for _, lp := range s.HotLocks(n) {
+		fmt.Fprintf(&b, "%10d %10d %10d\n", lp.Lock, lp.Acquires, lp.Transfers)
+	}
+	return b.String()
+}

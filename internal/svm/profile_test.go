@@ -1,0 +1,108 @@
+package svm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestProfilerHotPagesAndLocks(t *testing.T) {
+	as := mem.NewAddressSpace(4096, 4)
+	hot := as.AllocPages(4096)
+	cold := as.AllocPages(4096)
+	as.SetHome(hot, 4096, 0)
+	as.SetHome(cold, 4096, 0)
+	plat := New(as, DefaultParams(), 4)
+	plat.EnableProfiling()
+	k := sim.New(plat, sim.Config{NumProcs: 4})
+	k.Run("prof", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			p.Lock(7)
+			if p.ID() != 0 {
+				p.Write(hot) // everyone dirties the hot page
+			}
+			p.Unlock(7)
+			p.Barrier()
+		}
+		if p.ID() == 1 {
+			p.Read(cold)
+		}
+		p.Barrier()
+	})
+
+	pages := plat.HotPages(2)
+	if len(pages) == 0 {
+		t.Fatal("no hot pages recorded")
+	}
+	if pages[0].Page != as.PageOf(hot) {
+		t.Errorf("hottest page = %d, want %d", pages[0].Page, as.PageOf(hot))
+	}
+	if pages[0].Writers != 3 {
+		t.Errorf("hot page writers = %d, want 3", pages[0].Writers)
+	}
+	if pages[0].Fetches == 0 || pages[0].Diffs == 0 {
+		t.Errorf("hot page fetches=%d diffs=%d, want > 0", pages[0].Fetches, pages[0].Diffs)
+	}
+
+	locks := plat.HotLocks(5)
+	found := false
+	for _, l := range locks {
+		if l.Lock == 7 {
+			found = true
+			if l.Acquires < 12 {
+				t.Errorf("lock 7 acquires = %d, want >= 12", l.Acquires)
+			}
+			if l.Transfers == 0 {
+				t.Error("lock 7 recorded no inter-node transfers")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("lock 7 missing from profile")
+	}
+
+	rep := plat.ProfileReport(3)
+	if !strings.Contains(rep, "hot pages") || !strings.Contains(rep, "hot locks") {
+		t.Errorf("malformed report:\n%s", rep)
+	}
+}
+
+func TestProfilerDisabledByDefault(t *testing.T) {
+	as := mem.NewAddressSpace(4096, 2)
+	a := as.AllocPages(4096)
+	as.SetHome(a, 4096, 0)
+	plat := New(as, DefaultParams(), 2)
+	k := sim.New(plat, sim.Config{NumProcs: 2})
+	k.Run("noprof", func(p *sim.Proc) {
+		if p.ID() == 1 {
+			p.Read(a)
+		}
+		p.Barrier()
+	})
+	if got := plat.HotPages(5); got != nil {
+		t.Errorf("profiling disabled but got %d pages", len(got))
+	}
+}
+
+func TestProfilerResetsBetweenRuns(t *testing.T) {
+	as := mem.NewAddressSpace(4096, 2)
+	a := as.AllocPages(4096)
+	as.SetHome(a, 4096, 0)
+	plat := New(as, DefaultParams(), 2)
+	plat.EnableProfiling()
+	k := sim.New(plat, sim.Config{NumProcs: 2})
+	body := func(p *sim.Proc) {
+		if p.ID() == 1 {
+			p.Read(a)
+		}
+		p.Barrier()
+	}
+	k.Run("a", body)
+	first := plat.HotPages(1)[0].Fetches
+	k.Run("b", body)
+	if got := plat.HotPages(1)[0].Fetches; got != first {
+		t.Errorf("profile not reset: %d fetches after second run, want %d", got, first)
+	}
+}

@@ -1,0 +1,352 @@
+package svm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// CacheConfig is the paper's SVM node cache hierarchy.
+var CacheConfig = cache.Config{
+	L1Size: 8 << 10, L1Assoc: 1,
+	L2Size: 512 << 10, L2Assoc: 2,
+	Line: 32,
+}
+
+type pageID = uint64
+
+// node holds one processor's protocol state.
+type node struct {
+	vc       []uint32 // vector clock: latest interval of each node known here
+	interval uint32   // own current interval
+	valid    []bool   // per page: is a copy readable here
+	dirty    []bool   // per page: twin exists (written in current interval)
+	dirtyLst []pageID
+	cache    *cache.Hierarchy
+	nic      sim.Resource // NIC + protocol handler occupancy for incoming requests
+}
+
+// Platform is the HLRC shared-virtual-memory machine model.
+type Platform struct {
+	P     Params
+	as    *mem.AddressSpace
+	k     *sim.Kernel
+	np    int
+	nodes []*node
+
+	// writeLog[q][i] lists pages node q flushed in interval i; acquirers
+	// walk the intervals their vector clock advances over and invalidate
+	// those pages (the write notices of LRC).
+	writeLog [][][]pageID
+
+	// lockVC[id] is the releaser's vector clock at the last release of
+	// lock id, transferred to the next acquirer.
+	lockVC map[int][]uint32
+
+	// prof, when non-nil, accumulates per-page and per-lock traffic (the
+	// paper's wished-for SVM performance tool; see profile.go).
+	prof *profiler
+}
+
+// New creates an SVM platform over the given address space for np nodes.
+func New(as *mem.AddressSpace, p Params, np int) *Platform {
+	return &Platform{P: p, as: as, np: np}
+}
+
+// Name implements sim.Platform.
+func (s *Platform) Name() string { return "svm" }
+
+// LineSize reports the coherence-irrelevant cache line size used for range
+// accesses.
+func (s *Platform) LineSize() int { return CacheConfig.Line }
+
+// Attach implements sim.Platform, resetting all protocol state.
+func (s *Platform) Attach(k *sim.Kernel) {
+	s.k = k
+	npages := int(s.as.NumPages()) + 1
+	s.nodes = make([]*node, s.np)
+	for i := 0; i < s.np; i++ {
+		n := &node{
+			vc:    make([]uint32, s.np),
+			valid: make([]bool, npages),
+			dirty: make([]bool, npages),
+			cache: cache.New(CacheConfig),
+		}
+		s.nodes[i] = n
+	}
+	s.writeLog = make([][][]pageID, s.np)
+	for i := range s.writeLog {
+		s.writeLog[i] = [][]pageID{nil} // interval 0
+	}
+	s.lockVC = map[int][]uint32{}
+	if s.prof != nil {
+		s.prof = newProfiler()
+	}
+	// Home copies are valid at their homes from the start (untimed
+	// initialization, as in the paper).
+	for pg := 0; pg < npages; pg++ {
+		h := s.as.Home(uint64(pg) * s.P.PageSize)
+		if h < s.np {
+			s.nodes[h].valid[pg] = true
+		}
+	}
+}
+
+func (s *Platform) ensurePage(n *node, pg pageID) {
+	for uint64(len(n.valid)) <= pg {
+		n.valid = append(n.valid, false)
+		n.dirty = append(n.dirty, false)
+	}
+}
+
+// Prevalidate implements sim.Prevalidator: pages of [addr, addr+n) get a
+// valid (clean) copy at node, modelling data placed during untimed setup.
+func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
+	if nd < 0 || nd >= s.np {
+		return
+	}
+	first := addr / s.P.PageSize
+	last := (addr + uint64(nbytes) - 1) / s.P.PageSize
+	n := s.nodes[nd]
+	for pg := first; pg <= last; pg++ {
+		s.ensurePage(n, pg)
+		n.valid[pg] = true
+	}
+}
+
+// FastAccess implements sim.Platform: hits on valid pages (and writes on
+// already-dirty pages) are purely local.
+func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
+	n := s.nodes[p]
+	pg := addr / s.P.PageSize
+	if pg >= uint64(len(n.valid)) || !n.valid[pg] {
+		return 0, false
+	}
+	if write && !n.dirty[pg] {
+		return 0, false // needs a write trap + twin
+	}
+	lvl, _ := n.cache.Access(addr, write, cache.Exclusive)
+	switch lvl {
+	case cache.L1Hit:
+		return 0, true
+	case cache.L2Hit:
+		return s.P.L2HitCost, true
+	default:
+		return s.P.MemCost, true
+	}
+}
+
+// SlowAccess implements sim.Platform: page faults (fetch from home) and
+// first-write traps (twin creation).
+func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
+	n := s.nodes[p]
+	pg := addr / s.P.PageSize
+	s.ensurePage(n, pg)
+	c := s.k.Counters(p)
+	var cost sim.AccessCost
+
+	if !n.valid[pg] {
+		// Remote page fault: fetch the whole page from the home.
+		c.PageFaults++
+		home := s.as.Home(addr)
+		if home == p {
+			// Home lost validity? Homes never invalidate their own
+			// pages in this model, so this means a never-touched
+			// page past the prevalidated range; treat as local.
+			n.valid[pg] = true
+		} else {
+			c.PageFetches++
+			s.profFetch(p, pg)
+			hc := s.k.Counters(home)
+			hc.PagesServed++
+			reqArrive := now + s.P.FaultOverhead + s.P.MsgSend + s.P.NetLatency
+			service := s.P.MsgRecv + s.P.HomeService + s.P.PageXfer
+			start := s.nodes[home].nic.Acquire(reqArrive, service)
+			s.k.ChargeHandler(home, service)
+			// The page crosses the requester's I/O bus too before the
+			// faulting processor can be resumed.
+			done := start + service + s.P.NetLatency + s.P.PageXfer + s.P.MsgRecv
+			cost.DataWait += done - now
+			n.valid[pg] = true
+			n.dirty[pg] = false
+			// The page contents changed under the caches.
+			n.cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
+		}
+	}
+
+	if write && !n.dirty[pg] && s.np > 1 {
+		// First write in this interval: write trap; non-home writers
+		// also make a twin for later diffing. A uniprocessor run has
+		// no coherence to maintain, so pages are never write-protected
+		// (the paper's sequential baseline is plain execution).
+		cost.Handler += s.P.WriteTrap
+		if s.as.Home(addr) != p {
+			cost.Handler += s.P.TwinCost
+			c.TwinsMade++
+		}
+		n.dirty[pg] = true
+		n.dirtyLst = append(n.dirtyLst, pg)
+		s.profDirty(p, pg)
+	}
+
+	lvl, _ := n.cache.Access(addr, write, cache.Exclusive)
+	switch lvl {
+	case cache.L2Hit:
+		cost.CacheStall += s.P.L2HitCost
+	case cache.Miss:
+		cost.CacheStall += s.P.MemCost
+	}
+	return cost
+}
+
+// flush computes diffs for all pages dirtied in the current interval, sends
+// them to their homes, logs write notices, and opens a new interval. It
+// returns the handler cycles spent by the flushing node.
+func (s *Platform) flush(p int, now uint64) (handler uint64) {
+	n := s.nodes[p]
+	c := s.k.Counters(p)
+	if len(n.dirtyLst) > 0 {
+		log := append([]pageID(nil), n.dirtyLst...)
+		for _, pg := range n.dirtyLst {
+			n.dirty[pg] = false
+			home := s.as.Home(pg * s.P.PageSize)
+			handler += s.P.NoticeCost
+			if home != p {
+				// Diff against the twin, ship to home, home applies.
+				s.profDiff(pg)
+				c.DiffsCreated++
+				handler += s.P.DiffCreate + s.P.MsgSend
+				hc := s.k.Counters(home)
+				hc.DiffsApplied++
+				service := s.P.MsgRecv + s.P.DiffXfer + s.P.DiffApply
+				s.nodes[home].nic.Acquire(now+handler+s.P.NetLatency, service)
+				s.k.ChargeHandler(home, service)
+				// The applied diff changes the home copy under
+				// the home's caches.
+				s.nodes[home].cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
+			}
+		}
+		n.dirtyLst = n.dirtyLst[:0]
+		s.writeLog[p] = append(s.writeLog[p], log)
+	} else {
+		s.writeLog[p] = append(s.writeLog[p], nil)
+	}
+	n.interval++
+	n.vc[p] = n.interval
+	return handler
+}
+
+// invalidateUpTo advances node p's knowledge of q to interval upTo,
+// invalidating p's copies of every page q flushed in the newly covered
+// intervals. Returns the number of pages actually invalidated.
+func (s *Platform) invalidateUpTo(p, q int, upTo uint32) int {
+	if p == q {
+		return 0
+	}
+	n := s.nodes[p]
+	inv := 0
+	for i := n.vc[q] + 1; i <= upTo; i++ {
+		if int(i) >= len(s.writeLog[q]) {
+			break
+		}
+		for _, pg := range s.writeLog[q][i] {
+			s.ensurePage(n, pg)
+			// The home keeps its copy up to date by applying
+			// diffs; everyone else invalidates.
+			if s.as.Home(pg*s.P.PageSize) == p {
+				continue
+			}
+			if n.valid[pg] {
+				n.valid[pg] = false
+				n.dirty[pg] = false
+				inv++
+			}
+		}
+	}
+	if upTo > n.vc[q] {
+		n.vc[q] = upTo
+	}
+	return inv
+}
+
+// LockRequest implements sim.Platform: the acquirer sends a request to the
+// lock's manager, which forwards it toward the holder.
+func (s *Platform) LockRequest(p int, now uint64, lock int) uint64 {
+	mgr := lock % s.np
+	s.k.ChargeHandler(mgr, s.P.MsgRecv+s.P.LockMgrService)
+	s.k.Counters(p).RemoteLockMsgs++
+	return s.P.MsgSend + s.P.NetLatency
+}
+
+// LockGrant implements sim.Platform: the grant message carries the
+// releaser's vector clock; the acquirer applies the corresponding write
+// notices (lazy invalidation).
+func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64 {
+	s.profLock(lock, prevHolder >= 0 && prevHolder != p)
+	cost := s.P.NetLatency + s.P.MsgRecv // grant message
+	if prevHolder >= 0 && prevHolder != p {
+		cost += s.P.MsgSend + s.P.NetLatency + s.P.MsgRecv // manager->holder hop
+	}
+	if rvc, ok := s.lockVC[lock]; ok {
+		inv := 0
+		for q := 0; q < s.np; q++ {
+			inv += s.invalidateUpTo(p, q, rvc[q])
+		}
+		cost += uint64(inv) * s.P.InvalCost
+		s.k.Counters(p).Invalidations += uint64(inv)
+	}
+	return cost
+}
+
+// LockRelease implements sim.Platform: HLRC propagates diffs to homes at
+// release; the release itself is local (lazy protocol).
+func (s *Platform) LockRelease(p int, now uint64, lock int) (syncC, handler, freeDelay uint64) {
+	handler = s.flush(p, now)
+	rvc := make([]uint32, s.np)
+	copy(rvc, s.nodes[p].vc)
+	s.lockVC[lock] = rvc
+	return 100, handler, 0
+}
+
+// BarrierArrive implements sim.Platform: arrival flushes diffs to homes and
+// sends the arrival message with write notices to the barrier manager.
+func (s *Platform) BarrierArrive(p int, now uint64) (syncC, handler uint64) {
+	handler = s.flush(p, now)
+	return s.P.MsgSend + s.P.NetLatency, handler
+}
+
+// BarrierRelease implements sim.Platform: the manager serially processes one
+// arrival message per processor (merging write notices), then broadcasts the
+// release.
+func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
+	var maxArr uint64
+	for _, a := range arrivals {
+		if a > maxArr {
+			maxArr = a
+		}
+	}
+	mgrWork := uint64(len(arrivals)) * (s.P.MsgRecv/4 + s.P.BarrierPerProc)
+	if manager >= 0 && manager < s.np {
+		s.k.ChargeHandler(manager, mgrWork)
+	}
+	return maxArr + mgrWork + s.P.BarrierBcast + s.P.NetLatency
+}
+
+// BarrierDepart implements sim.Platform: on departure every node has merged
+// every other node's vector clock; stale copies are invalidated.
+func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
+	inv := 0
+	for q := 0; q < s.np; q++ {
+		if q == p {
+			continue
+		}
+		inv += s.invalidateUpTo(p, q, s.nodes[q].vc[q])
+	}
+	s.k.Counters(p).Invalidations += uint64(inv)
+	return s.P.MsgRecv + uint64(inv)*s.P.InvalCost
+}
+
+var (
+	_ sim.Platform     = (*Platform)(nil)
+	_ sim.Prevalidator = (*Platform)(nil)
+)

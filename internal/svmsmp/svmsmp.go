@@ -1,0 +1,444 @@
+// Package svmsmp models the paper's §7 future-work platform: "SMP nodes
+// connected by SVM" — clusters of hardware cache-coherent processors (PC
+// SMPs) glued into one shared address space by a page-grained HLRC protocol
+// over a Myrinet-class network. Within a cluster, coherence is at cache-line
+// granularity over a snooping bus and costs tens of cycles; across clusters,
+// coherence is at page granularity with twins, diffs and write notices kept
+// per CLUSTER rather than per processor.
+//
+// The interesting questions the paper poses for this hierarchy — does
+// intra-cluster sharing dodge the SVM tax, do cluster-grained twins cut
+// protocol work, how do locks behave when the previous holder is a cluster
+// mate — are all answerable with this model; see the TwoLevel benchmarks.
+package svmsmp
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/smp"
+	"repro/internal/svm"
+)
+
+// DefaultClusterSize is the paper's envisioned PC-SMP node size.
+const DefaultClusterSize = 4
+
+// Params combines the inter-cluster SVM cost model with intra-cluster
+// bus-coherence costs.
+type Params struct {
+	SVM svm.Params
+	Bus smp.Params
+	// ClusterSize is the number of processors per SMP node.
+	ClusterSize int
+}
+
+// DefaultParams returns SVM costs across clusters and Challenge-class costs
+// inside them.
+func DefaultParams() Params {
+	return Params{SVM: svm.DefaultParams(), Bus: smp.DefaultParams(), ClusterSize: DefaultClusterSize}
+}
+
+type pageID = uint64
+
+// cluster holds one SMP node's protocol state: the page-grained SVM state
+// (per cluster) plus the line-grained coherence state among its processors.
+type cluster struct {
+	vc       []uint32
+	interval uint32
+	valid    []bool
+	dirty    []bool
+	dirtyLst []pageID
+	nic      sim.Resource
+	bus      sim.Resource
+	lines    map[uint64]*lineEntry // line -> intra-cluster sharers/owner
+}
+
+type lineEntry struct {
+	sharers uint64 // bitmask of local (cluster-relative) processors
+	owner   int8
+}
+
+// Platform is the two-level machine model.
+type Platform struct {
+	P      Params
+	as     *mem.AddressSpace
+	k      *sim.Kernel
+	np, nc int
+	caches []*cache.Hierarchy
+	cl     []*cluster
+
+	writeLog [][][]pageID // per cluster
+	lockVC   map[int][]uint32
+	lockCl   map[int]int // lock -> cluster of last holder
+}
+
+// New creates a two-level platform for np processors grouped into clusters.
+func New(as *mem.AddressSpace, p Params, np int) *Platform {
+	if p.ClusterSize <= 0 {
+		p.ClusterSize = DefaultClusterSize
+	}
+	nc := (np + p.ClusterSize - 1) / p.ClusterSize
+	return &Platform{P: p, as: as, np: np, nc: nc}
+}
+
+// Name implements sim.Platform.
+func (s *Platform) Name() string { return "svmsmp" }
+
+// LineSize reports the intra-cluster coherence granularity.
+func (s *Platform) LineSize() int { return smp.CacheConfig.Line }
+
+func (s *Platform) clusterOf(p int) int { return p / s.P.ClusterSize }
+
+// homeCluster maps a page's home processor to its cluster.
+func (s *Platform) homeCluster(addr uint64) int {
+	return s.clusterOf(s.as.Home(addr) % s.np)
+}
+
+// Attach implements sim.Platform.
+func (s *Platform) Attach(k *sim.Kernel) {
+	s.k = k
+	npages := int(s.as.NumPages()) + 1
+	s.caches = make([]*cache.Hierarchy, s.np)
+	s.cl = make([]*cluster, s.nc)
+	for c := 0; c < s.nc; c++ {
+		s.cl[c] = &cluster{
+			vc:    make([]uint32, s.nc),
+			valid: make([]bool, npages),
+			dirty: make([]bool, npages),
+			lines: map[uint64]*lineEntry{},
+		}
+	}
+	for i := 0; i < s.np; i++ {
+		h := cache.New(smp.CacheConfig)
+		nd := i
+		cl := s.cl[s.clusterOf(i)]
+		local := int8(i % s.P.ClusterSize)
+		h.OnL2Evict = func(la uint64, st cache.State) {
+			if e, ok := cl.lines[la]; ok {
+				e.sharers &^= 1 << uint(nd%s.P.ClusterSize)
+				if e.owner == local {
+					e.owner = -1
+				}
+			}
+		}
+		s.caches[i] = h
+	}
+	s.writeLog = make([][][]pageID, s.nc)
+	for i := range s.writeLog {
+		s.writeLog[i] = [][]pageID{nil}
+	}
+	s.lockVC = map[int][]uint32{}
+	s.lockCl = map[int]int{}
+	for pg := 0; pg < npages; pg++ {
+		hc := s.homeCluster(uint64(pg) * s.P.SVM.PageSize)
+		if hc < s.nc {
+			s.cl[hc].valid[pg] = true
+		}
+	}
+}
+
+func (s *Platform) ensurePage(c *cluster, pg pageID) {
+	for uint64(len(c.valid)) <= pg {
+		c.valid = append(c.valid, false)
+		c.dirty = append(c.dirty, false)
+	}
+}
+
+// Prevalidate implements sim.Prevalidator at cluster granularity.
+func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
+	cid := s.clusterOf(nd)
+	if cid < 0 || cid >= s.nc {
+		return
+	}
+	c := s.cl[cid]
+	first := addr / s.P.SVM.PageSize
+	last := (addr + uint64(nbytes) - 1) / s.P.SVM.PageSize
+	for pg := first; pg <= last; pg++ {
+		s.ensurePage(c, pg)
+		c.valid[pg] = true
+	}
+}
+
+func (s *Platform) entry(c *cluster, la uint64) *lineEntry {
+	e, ok := c.lines[la]
+	if !ok {
+		e = &lineEntry{owner: -1}
+		c.lines[la] = e
+	}
+	return e
+}
+
+// FastAccess implements sim.Platform: the page must be valid at the cluster
+// (and cluster-dirty for writes), then intra-cluster MESI applies.
+func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
+	c := s.cl[s.clusterOf(p)]
+	pg := addr / s.P.SVM.PageSize
+	if pg >= uint64(len(c.valid)) || !c.valid[pg] {
+		return 0, false
+	}
+	if write && !c.dirty[pg] {
+		return 0, false
+	}
+	h := s.caches[p]
+	lvl, st := h.Probe(addr)
+	if lvl == cache.Miss {
+		return 0, false
+	}
+	if write && st != cache.Modified && st != cache.Exclusive {
+		return 0, false
+	}
+	h.Access(addr, write, st)
+	if lvl == cache.L1Hit {
+		return 0, true
+	}
+	return s.P.Bus.L2HitCost, true
+}
+
+// SlowAccess implements sim.Platform: inter-cluster page faults and write
+// traps first, then an intra-cluster bus transaction for the line.
+func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
+	cid := s.clusterOf(p)
+	c := s.cl[cid]
+	pg := addr / s.P.SVM.PageSize
+	s.ensurePage(c, pg)
+	cnt := s.k.Counters(p)
+	var cost sim.AccessCost
+
+	if !c.valid[pg] {
+		cnt.PageFaults++
+		hc := s.homeCluster(addr)
+		if hc == cid {
+			c.valid[pg] = true
+		} else {
+			cnt.PageFetches++
+			P := s.P.SVM
+			reqArrive := now + P.FaultOverhead + P.MsgSend + P.NetLatency
+			service := P.MsgRecv + P.HomeService + P.PageXfer
+			start := s.cl[hc].nic.Acquire(reqArrive, service)
+			// The handler runs on the home cluster's first processor.
+			s.k.ChargeHandler(hc*s.P.ClusterSize, service)
+			s.k.Counters(hc * s.P.ClusterSize).PagesServed++
+			done := start + service + P.NetLatency + P.PageXfer + P.MsgRecv
+			cost.DataWait += done - now
+			c.valid[pg] = true
+			c.dirty[pg] = false
+			// Every cluster member's cached lines of the page are stale.
+			base := pg * P.PageSize
+			for q := cid * s.P.ClusterSize; q < (cid+1)*s.P.ClusterSize && q < s.np; q++ {
+				s.caches[q].InvalidateRange(base, int(P.PageSize))
+			}
+			for la := base / uint64(s.LineSize()); la <= (base+P.PageSize-1)/uint64(s.LineSize()); la++ {
+				delete(c.lines, la)
+			}
+		}
+	}
+
+	if write && !c.dirty[pg] && s.nc > 1 {
+		// One write trap + twin per CLUSTER per interval — the
+		// two-level hierarchy's big saving over plain SVM.
+		cost.Handler += s.P.SVM.WriteTrap
+		if s.homeCluster(addr) != cid {
+			cost.Handler += s.P.SVM.TwinCost
+			cnt.TwinsMade++
+		}
+		c.dirty[pg] = true
+		c.dirtyLst = append(c.dirtyLst, pg)
+	}
+
+	// Intra-cluster line coherence over the cluster bus.
+	h := s.caches[p]
+	la := h.LineOf(addr)
+	e := s.entry(c, la)
+	local := p % s.P.ClusterSize
+	occ := s.P.Bus.BusArb + s.P.Bus.BusXfer
+	start := c.bus.Acquire(now, occ)
+	wait := start - now + occ
+	cnt.BusTransactions++
+	if write {
+		if e.owner >= 0 && int(e.owner) != local {
+			s.caches[cid*s.P.ClusterSize+int(e.owner)].SetState(addr, cache.Invalid)
+			cost.DataWait += wait + s.P.Bus.C2CLat
+		} else if sh := e.sharers &^ (1 << uint(local)); sh != 0 {
+			for q := 0; q < s.P.ClusterSize; q++ {
+				if sh&(1<<uint(q)) != 0 {
+					s.caches[cid*s.P.ClusterSize+q].SetState(addr, cache.Invalid)
+				}
+			}
+			cost.DataWait += wait + s.P.Bus.InvalPer
+		} else {
+			cost.CacheStall += wait + s.P.Bus.MemLat
+		}
+		e.sharers = 1 << uint(local)
+		e.owner = int8(local)
+		h.Access(addr, true, cache.Modified)
+	} else {
+		if e.owner >= 0 && int(e.owner) != local {
+			s.caches[cid*s.P.ClusterSize+int(e.owner)].SetState(addr, cache.Shared)
+			e.sharers |= 1 << uint(e.owner)
+			e.owner = -1
+			cost.DataWait += wait + s.P.Bus.C2CLat
+		} else {
+			cost.CacheStall += wait + s.P.Bus.MemLat
+		}
+		e.sharers |= 1 << uint(local)
+		fill := cache.Shared
+		if e.sharers == 1<<uint(local) && e.owner < 0 {
+			fill = cache.Exclusive
+			e.owner = int8(local)
+		}
+		h.Access(addr, false, fill)
+	}
+	return cost
+}
+
+// flush ships the cluster's dirty pages to their home clusters and opens a
+// new interval (see svm.Platform.flush; state is per cluster here).
+func (s *Platform) flush(p int, now uint64) (handler uint64) {
+	cid := s.clusterOf(p)
+	c := s.cl[cid]
+	cnt := s.k.Counters(p)
+	P := s.P.SVM
+	if len(c.dirtyLst) > 0 {
+		log := append([]pageID(nil), c.dirtyLst...)
+		for _, pg := range c.dirtyLst {
+			c.dirty[pg] = false
+			hc := s.homeCluster(pg * P.PageSize)
+			handler += P.NoticeCost
+			if hc != cid {
+				cnt.DiffsCreated++
+				handler += P.DiffCreate + P.MsgSend
+				service := P.MsgRecv + P.DiffXfer + P.DiffApply
+				s.cl[hc].nic.Acquire(now+handler+P.NetLatency, service)
+				s.k.ChargeHandler(hc*s.P.ClusterSize, service)
+				// The applied diff changes the home copy under the
+				// home cluster's caches.
+				base := pg * P.PageSize
+				for q := hc * s.P.ClusterSize; q < (hc+1)*s.P.ClusterSize && q < s.np; q++ {
+					s.caches[q].InvalidateRange(base, int(P.PageSize))
+				}
+			}
+		}
+		c.dirtyLst = c.dirtyLst[:0]
+		s.writeLog[cid] = append(s.writeLog[cid], log)
+	} else {
+		s.writeLog[cid] = append(s.writeLog[cid], nil)
+	}
+	c.interval++
+	c.vc[cid] = c.interval
+	return handler
+}
+
+func (s *Platform) invalidateUpTo(cid, q int, upTo uint32) int {
+	if cid == q {
+		return 0
+	}
+	c := s.cl[cid]
+	inv := 0
+	for i := c.vc[q] + 1; i <= upTo; i++ {
+		if int(i) >= len(s.writeLog[q]) {
+			break
+		}
+		for _, pg := range s.writeLog[q][i] {
+			s.ensurePage(c, pg)
+			if s.homeCluster(pg*s.P.SVM.PageSize) == cid {
+				continue
+			}
+			if c.valid[pg] {
+				c.valid[pg] = false
+				c.dirty[pg] = false
+				inv++
+			}
+		}
+	}
+	if upTo > c.vc[q] {
+		c.vc[q] = upTo
+	}
+	return inv
+}
+
+// LockRequest implements sim.Platform: free within a cluster, a message
+// across clusters.
+func (s *Platform) LockRequest(p int, now uint64, lock int) uint64 {
+	if last, ok := s.lockCl[lock]; ok && last == s.clusterOf(p) {
+		return 0
+	}
+	return s.P.SVM.MsgSend + s.P.SVM.NetLatency
+}
+
+// LockGrant implements sim.Platform: an intra-cluster handoff is a hardware
+// lock; an inter-cluster handoff pays SVM messaging plus write-notice
+// invalidations at cluster granularity.
+func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64 {
+	cid := s.clusterOf(p)
+	sameCluster := prevHolder >= 0 && s.clusterOf(prevHolder) == cid
+	var cost uint64
+	if sameCluster {
+		cost = s.P.Bus.LockAcquire
+	} else {
+		cost = s.P.SVM.NetLatency + s.P.SVM.MsgRecv
+		if prevHolder >= 0 {
+			cost += s.P.SVM.MsgSend + s.P.SVM.NetLatency + s.P.SVM.MsgRecv
+		}
+	}
+	if rvc, ok := s.lockVC[lock]; ok {
+		inv := 0
+		for q := 0; q < s.nc; q++ {
+			inv += s.invalidateUpTo(cid, q, rvc[q])
+		}
+		cost += uint64(inv) * s.P.SVM.InvalCost
+		s.k.Counters(p).Invalidations += uint64(inv)
+	}
+	s.lockCl[lock] = cid
+	return cost
+}
+
+// LockRelease implements sim.Platform.
+func (s *Platform) LockRelease(p int, now uint64, lock int) (uint64, uint64, uint64) {
+	handler := s.flush(p, now)
+	rvc := make([]uint32, s.nc)
+	copy(rvc, s.cl[s.clusterOf(p)].vc)
+	s.lockVC[lock] = rvc
+	return s.P.Bus.LockRelease, handler, 0
+}
+
+// BarrierArrive implements sim.Platform: gather on the cluster bus, then one
+// message per cluster to the manager.
+func (s *Platform) BarrierArrive(p int, now uint64) (uint64, uint64) {
+	handler := s.flush(p, now)
+	return s.P.Bus.BarrierLeaf + s.P.SVM.MsgSend/uint64(s.P.ClusterSize) + s.P.SVM.NetLatency/2, handler
+}
+
+// BarrierRelease implements sim.Platform: the manager handles one arrival
+// per CLUSTER, not per processor.
+func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
+	var m uint64
+	for _, a := range arrivals {
+		if a > m {
+			m = a
+		}
+	}
+	mgrWork := uint64(s.nc) * (s.P.SVM.MsgRecv/4 + s.P.SVM.BarrierPerProc)
+	if manager >= 0 && manager < s.np {
+		s.k.ChargeHandler(manager, mgrWork)
+	}
+	return m + mgrWork + s.P.SVM.BarrierBcast + s.P.SVM.NetLatency
+}
+
+// BarrierDepart implements sim.Platform.
+func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
+	cid := s.clusterOf(p)
+	inv := 0
+	for q := 0; q < s.nc; q++ {
+		if q == cid {
+			continue
+		}
+		inv += s.invalidateUpTo(cid, q, s.cl[q].vc[q])
+	}
+	s.k.Counters(p).Invalidations += uint64(inv)
+	return s.P.Bus.BarrierLeaf/3 + uint64(inv)*s.P.SVM.InvalCost
+}
+
+var (
+	_ sim.Platform     = (*Platform)(nil)
+	_ sim.Prevalidator = (*Platform)(nil)
+)

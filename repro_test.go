@@ -1,0 +1,38 @@
+package repro
+
+import "testing"
+
+func TestFacadeListsEverything(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 7 {
+		t.Fatalf("%d apps registered, want 7: %v", len(apps), apps)
+	}
+	for _, app := range apps {
+		vs, err := Versions(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) < 3 {
+			t.Errorf("%s has only %d versions", app, len(vs))
+		}
+		if vs[0].Class.String() != "Orig" {
+			t.Errorf("%s first version class = %s, want Orig", app, vs[0].Class)
+		}
+	}
+	if len(Platforms()) != 3 {
+		t.Errorf("platforms = %v, want 3", Platforms())
+	}
+	if len(Figures()) != 16 {
+		t.Errorf("%d figures, want 16 (fig2..fig17)", len(Figures()))
+	}
+}
+
+func TestFacadeExecute(t *testing.T) {
+	run, err := Execute(Spec{App: "ocean", Version: "rows", Platform: "dsm", NumProcs: 4, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.EndTime == 0 {
+		t.Error("zero end time")
+	}
+}
