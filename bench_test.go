@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/harness"
@@ -100,6 +101,34 @@ func BenchmarkFig16(b *testing.B) {
 	}
 }
 
+// --- Parallel experiment engine ---
+
+// BenchmarkParallelMatrix measures the parallel experiment engine on a
+// Figure 2-style matrix (every app's original version on every platform,
+// with shared uniprocessor baselines) at reduced scale, comparing a serial
+// pool against one worker per host core. The speedup between the two
+// sub-benchmarks is the engine's win on this host.
+func BenchmarkParallelMatrix(b *testing.B) {
+	var cells []harness.Cell
+	for _, app := range Apps() {
+		vs, _ := Versions(app)
+		for _, plat := range Platforms() {
+			cells = append(cells, harness.Cell{App: app, Version: vs[0].Name, Platform: plat, Speedup: true})
+		}
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := harness.NewRunner(8, benchScale/2)
+				r.RunParallel(w, cells)
+				if fails := r.FailedCells(); len(fails) > 0 {
+					b.Fatalf("cells failed: %v", fails)
+				}
+			}
+		})
+	}
+}
+
 // --- Figure 17: Volrend stealing on SVM vs DSM ---
 
 func BenchmarkFig17(b *testing.B) {
@@ -120,7 +149,7 @@ func microKernel(plat string, np int) (*sim.Kernel, *mem.AddressSpace) {
 	if err != nil {
 		panic(err)
 	}
-	return sim.New(pl, sim.Config{NumProcs: np}), as
+	return sim.New(pl, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager}), as
 }
 
 // BenchmarkPageFetch measures the simulated unloaded SVM page fetch (the

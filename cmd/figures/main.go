@@ -3,6 +3,14 @@
 // time breakdowns on SVM), Figure 16 (optimization classes across all three
 // platforms) and Figure 17 (Volrend stealing on SVM vs. DSM).
 //
+// The experiment matrix is pre-executed by a bounded worker pool (one
+// deterministic single-goroutine simulation per worker at a time) and then
+// rendered serially from the memo cache, so the output is byte-identical to
+// a fully serial run regardless of -workers. A cell whose simulation fails
+// (panic, deadlock, verification) renders as an error row; the rest of the
+// figure still completes, failures are listed on stderr, and the exit code
+// is 1.
+//
 // Usage:
 //
 //	figures -all                # every figure, paper order
@@ -10,12 +18,14 @@
 //	figures -headline           # the §4 per-application SVM progression
 //	figures -p 16 -scale 1      # processors and a scale multiplier on top
 //	                            # of each app's base problem size
+//	figures -all -workers 8     # at most 8 concurrent simulations
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	_ "repro/internal/apps"
 	"repro/internal/harness"
@@ -27,11 +37,46 @@ func main() {
 	headline := flag.Bool("headline", false, "print the per-application SVM speedup progression (paper §4)")
 	np := flag.Int("p", 16, "number of simulated processors")
 	scale := flag.Float64("scale", 1, "problem-size multiplier on top of per-app base scales")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations pre-executing the experiment matrix (1 = serial)")
 	flag.Parse()
 
 	r := harness.NewRunner(*np, *scale)
 
-	emit := func(f harness.Figure) {
+	var figs []harness.Figure
+	var cells []harness.Cell
+	switch {
+	case *headline:
+		cells = harness.HeadlineCells()
+	case *all:
+		figs = harness.Figures()
+	case *fig != "":
+		f, err := harness.FindFigure(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		figs = []harness.Figure{f}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		cells = append(cells, f.Cells()...)
+	}
+
+	// Warm the memo cache in parallel; rendering below is serial cache
+	// reads, so its bytes do not depend on -workers.
+	r.RunParallel(*workers, cells)
+
+	if *headline {
+		out, err := harness.HeadlineSpeedups(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	for _, f := range figs {
 		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
 		out, err := f.Run(r)
 		if err != nil {
@@ -41,27 +86,11 @@ func main() {
 		fmt.Println(out)
 	}
 
-	switch {
-	case *headline:
-		out, err := harness.HeadlineSpeedups(r)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+	if fails := r.FailedCells(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d experiment(s) failed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "  "+f)
 		}
-		fmt.Println(out)
-	case *all:
-		for _, f := range harness.Figures() {
-			emit(f)
-		}
-	case *fig != "":
-		f, err := harness.FindFigure(*fig)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
-		emit(f)
-	default:
-		flag.Usage()
-		os.Exit(2)
+		os.Exit(1)
 	}
 }

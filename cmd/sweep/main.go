@@ -3,6 +3,12 @@
 // systems, we plan to investigate the issues with larger numbers of
 // processors"), answerable here by simulation.
 //
+// The (processor count × platform) matrix, including the per-platform
+// uniprocessor baselines, is executed by a bounded worker pool and printed
+// serially, so the table is byte-identical to a serial run regardless of
+// -workers. A failing cell prints as "error" while the rest of the sweep
+// completes; failures are listed on stderr and the exit code is 1.
+//
 //	sweep -app ocean -version rows -platform svm -procs 1,2,4,8,16,32
 package main
 
@@ -10,13 +16,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	_ "repro/internal/apps"
 	"repro/internal/harness"
 	"repro/internal/platform"
+	"repro/internal/stats"
 )
+
+// cell is one experiment of the sweep matrix; np == 0 marks the platform's
+// uniprocessor baseline of the original version.
+type cell struct {
+	np   int
+	plat string
+}
 
 func main() {
 	app := flag.String("app", "ocean", "application name")
@@ -24,6 +41,7 @@ func main() {
 	plat := flag.String("platform", "", "platform; empty = all three")
 	procs := flag.String("procs", "1,2,4,8,16", "comma-separated processor counts")
 	scale := flag.Float64("scale", 1, "problem size scale factor")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	flag.Parse()
 
 	var counts []int
@@ -40,24 +58,64 @@ func main() {
 		plats = []string{*plat}
 	}
 
-	// Uniprocessor baselines of the original version, per platform.
-	base := map[string]uint64{}
+	var cells []cell
 	for _, pl := range plats {
-		run, err := harness.Execute(harness.Spec{
-			App: *app, Version: "orig", Platform: pl, NumProcs: 1, Scale: *scale,
-		})
-		if err != nil {
-			// Barnes names its original differently.
-			run, err = harness.Execute(harness.Spec{
-				App: *app, Version: "splash", Platform: pl, NumProcs: 1, Scale: *scale,
+		cells = append(cells, cell{0, pl})
+		for _, np := range counts {
+			cells = append(cells, cell{np, pl})
+		}
+	}
+
+	var mu sync.Mutex
+	runs := map[cell]*stats.Run{}
+	errs := map[cell]error{}
+
+	exec := func(c cell) (*stats.Run, error) {
+		if c.np == 0 {
+			// Baseline: uniprocessor original version. Barnes names
+			// its original differently.
+			run, err := harness.Execute(harness.Spec{
+				App: *app, Version: "orig", Platform: c.plat, NumProcs: 1, Scale: *scale,
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
+				run, err = harness.Execute(harness.Spec{
+					App: *app, Version: "splash", Platform: c.plat, NumProcs: 1, Scale: *scale,
+				})
 			}
+			return run, err
 		}
-		base[pl] = run.EndTime
+		return harness.Execute(harness.Spec{
+			App: *app, Version: *version, Platform: c.plat, NumProcs: c.np, Scale: *scale,
+		})
 	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				run, err := exec(c)
+				mu.Lock()
+				if err != nil {
+					errs[c] = err
+				} else {
+					runs[c] = run
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
 
 	fmt.Printf("%s/%s speedup vs uniprocessor original (scale %.2g)\n", *app, *version, *scale)
 	fmt.Printf("%6s", "P")
@@ -68,15 +126,34 @@ func main() {
 	for _, np := range counts {
 		fmt.Printf("%6d", np)
 		for _, pl := range plats {
-			run, err := harness.Execute(harness.Spec{
-				App: *app, Version: *version, Platform: pl, NumProcs: np, Scale: *scale,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
+			base, run := runs[cell{0, pl}], runs[cell{np, pl}]
+			if base == nil || run == nil {
+				fmt.Printf(" %8s", "error")
+				continue
 			}
-			fmt.Printf(" %8.2f", float64(base[pl])/float64(run.EndTime))
+			fmt.Printf(" %8.2f", float64(base.EndTime)/float64(run.EndTime))
 		}
 		fmt.Println()
+	}
+
+	if len(errs) > 0 {
+		var lines []string
+		for c, err := range errs {
+			what := fmt.Sprintf("P=%d on %s", c.np, c.plat)
+			if c.np == 0 {
+				what = "baseline on " + c.plat
+			}
+			msg := err.Error()
+			if i := strings.IndexByte(msg, '\n'); i >= 0 {
+				msg = msg[:i] + " ..."
+			}
+			lines = append(lines, fmt.Sprintf("  %s: %s", what, msg))
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(os.Stderr, "sweep: %d cell(s) failed:\n", len(errs))
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, l)
+		}
+		os.Exit(1)
 	}
 }

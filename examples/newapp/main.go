@@ -38,7 +38,7 @@ func histogram(plat string, private bool) uint64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	k := sim.New(pl, sim.Config{NumProcs: np})
+	k := sim.New(pl, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
 	run := k.Run("histogram", func(p *sim.Proc) {
 		id := p.ID()
 		per := nKeys / np

@@ -25,7 +25,7 @@ func runLU(t *testing.T, version, plat string, np int, scale float64) *stats.Run
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := sim.New(pl, sim.Config{NumProcs: np})
+	k := sim.New(pl, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
 	run := k.Run("lu/"+version+"@"+plat, inst.Body)
 	if err := inst.Verify(); err != nil {
 		t.Fatalf("verification failed: %v", err)

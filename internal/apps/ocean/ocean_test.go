@@ -25,7 +25,7 @@ func runOcean(t *testing.T, version, plat string, np int, scale float64) *stats.
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := sim.New(pl, sim.Config{NumProcs: np})
+	k := sim.New(pl, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
 	run := k.Run("ocean/"+version+"@"+plat, inst.Body)
 	if err := inst.Verify(); err != nil {
 		t.Fatalf("verification failed: %v", err)

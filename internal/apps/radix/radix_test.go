@@ -26,7 +26,7 @@ func runRadix(t *testing.T, version, plat string, np int, scale float64) *stats.
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := sim.New(pl, sim.Config{NumProcs: np})
+	k := sim.New(pl, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
 	run := k.Run("radix/"+version+"@"+plat, inst.Body)
 	if err := inst.Verify(); err != nil {
 		t.Fatalf("verification failed: %v", err)

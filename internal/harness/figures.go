@@ -41,7 +41,27 @@ func (r *Runner) scaleFor(app string) float64 {
 type Figure struct {
 	ID    string
 	Title string
-	Run   func(r *Runner) (string, error)
+	// Cells enumerates the experiments the figure needs, so they can be
+	// pre-executed in parallel (Runner.RunParallel) before Run renders
+	// them serially from the memo cache.
+	Cells func() []Cell
+	// Run renders the figure. A failing cell becomes an error row in the
+	// output (with a note below the table) rather than an error return,
+	// so one bad cell cannot abort a whole figures run; the error return
+	// is reserved for infrastructure failures.
+	Run func(r *Runner) (string, error)
+}
+
+// cellErr formats one failed cell for the notes under a figure table.
+func cellErr(cell string, err error) string {
+	return "  ! " + cell + ": " + firstLine(err.Error())
+}
+
+// writeFails appends the per-cell failure notes to a rendered figure.
+func writeFails(b *strings.Builder, fails []string) {
+	for _, f := range fails {
+		fmt.Fprintln(b, f)
+	}
 }
 
 type breakdownSpec struct {
@@ -67,21 +87,28 @@ var breakdowns = []breakdownSpec{
 // Figures returns every regenerable figure in paper order.
 func Figures() []Figure {
 	figs := []Figure{
-		{ID: "fig2", Title: "Speedups for the original versions across the shared address space multiprocessors", Run: fig2},
+		{ID: "fig2", Title: "Speedups for the original versions across the shared address space multiprocessors", Cells: fig2Cells, Run: fig2},
 	}
 	for _, b := range breakdowns {
 		b := b
-		figs = append(figs, Figure{ID: b.id, Title: b.title, Run: func(r *Runner) (string, error) {
-			run, err := r.Run(b.app, b.version, "svm")
-			if err != nil {
-				return "", err
-			}
-			return run.BreakdownTable(), nil
-		}})
+		figs = append(figs, Figure{
+			ID:    b.id,
+			Title: b.title,
+			Cells: func() []Cell {
+				return []Cell{{App: b.app, Version: b.version, Platform: "svm"}}
+			},
+			Run: func(r *Runner) (string, error) {
+				run, err := r.Run(b.app, b.version, "svm")
+				if err != nil {
+					return fmt.Sprintf("error: %s\n", firstLine(err.Error())), nil
+				}
+				return run.BreakdownTable(), nil
+			},
+		})
 	}
 	figs = append(figs,
-		Figure{ID: "fig16", Title: "Performance with different optimization classes across shared-address-space multiprocessors", Run: fig16},
-		Figure{ID: "fig17", Title: "Speedups of Volrend with the algorithmic optimization with and without stealing on SVM and CC-NUMA DSM", Run: fig17},
+		Figure{ID: "fig16", Title: "Performance with different optimization classes across shared-address-space multiprocessors", Cells: fig16Cells, Run: fig16},
+		Figure{ID: "fig17", Title: "Speedups of Volrend with the algorithmic optimization with and without stealing on SVM and CC-NUMA DSM", Cells: fig17Cells, Run: fig17},
 	)
 	return figs
 }
@@ -96,8 +123,20 @@ func FindFigure(id string) (Figure, error) {
 	return Figure{}, fmt.Errorf("harness: unknown figure %q", id)
 }
 
+func fig2Cells() []Cell {
+	var cells []Cell
+	for _, app := range core.Apps() {
+		a, _ := core.Lookup(app)
+		for _, pl := range platform.Names {
+			cells = append(cells, Cell{App: app, Version: a.Versions()[0].Name, Platform: pl, Speedup: true})
+		}
+	}
+	return cells
+}
+
 func fig2(r *Runner) (string, error) {
 	var b strings.Builder
+	var fails []string
 	fmt.Fprintf(&b, "%-10s", "app")
 	for _, pl := range platform.Names {
 		fmt.Fprintf(&b, " %8s", pl)
@@ -110,17 +149,34 @@ func fig2(r *Runner) (string, error) {
 		for _, pl := range platform.Names {
 			s, err := r.Speedup(app, orig, pl)
 			if err != nil {
-				return "", err
+				fmt.Fprintf(&b, " %8s", "error")
+				fails = append(fails, cellErr(app+"/"+orig+"@"+pl, err))
+				continue
 			}
 			fmt.Fprintf(&b, " %8.2f", s)
 		}
 		fmt.Fprintln(&b)
 	}
+	writeFails(&b, fails)
 	return b.String(), nil
+}
+
+func fig16Cells() []Cell {
+	var cells []Cell
+	for _, app := range core.Apps() {
+		a, _ := core.Lookup(app)
+		for _, v := range a.Versions() {
+			for _, pl := range platform.Names {
+				cells = append(cells, Cell{App: app, Version: v.Name, Platform: pl, Speedup: true})
+			}
+		}
+	}
+	return cells
 }
 
 func fig16(r *Runner) (string, error) {
 	var b strings.Builder
+	var fails []string
 	for _, app := range core.Apps() {
 		a, _ := core.Lookup(app)
 		fmt.Fprintf(&b, "%s:\n", app)
@@ -134,31 +190,61 @@ func fig16(r *Runner) (string, error) {
 			for _, pl := range platform.Names {
 				s, err := r.Speedup(app, v.Name, pl)
 				if err != nil {
-					return "", err
+					fmt.Fprintf(&b, " %8s", "error")
+					fails = append(fails, cellErr(app+"/"+v.Name+"@"+pl, err))
+					continue
 				}
 				fmt.Fprintf(&b, " %8.2f", s)
 			}
 			fmt.Fprintln(&b)
 		}
 	}
+	writeFails(&b, fails)
 	return b.String(), nil
+}
+
+func fig17Cells() []Cell {
+	var cells []Cell
+	for _, v := range []string{"balanced", "nosteal"} {
+		for _, pl := range []string{"svm", "dsm"} {
+			cells = append(cells, Cell{App: "volrend", Version: v, Platform: pl, Speedup: true})
+		}
+	}
+	return cells
 }
 
 func fig17(r *Runner) (string, error) {
 	var b strings.Builder
+	var fails []string
 	fmt.Fprintf(&b, "%-10s %8s %8s\n", "version", "svm", "dsm")
 	for _, v := range []string{"balanced", "nosteal"} {
 		fmt.Fprintf(&b, "%-10s", v)
 		for _, pl := range []string{"svm", "dsm"} {
 			s, err := r.Speedup("volrend", v, pl)
 			if err != nil {
-				return "", err
+				fmt.Fprintf(&b, " %8s", "error")
+				fails = append(fails, cellErr("volrend/"+v+"@"+pl, err))
+				continue
 			}
 			fmt.Fprintf(&b, " %8.2f", s)
 		}
 		fmt.Fprintln(&b)
 	}
+	writeFails(&b, fails)
 	return b.String(), nil
+}
+
+// HeadlineCells enumerates the experiments HeadlineSpeedups needs, for
+// parallel pre-execution.
+func HeadlineCells() []Cell {
+	var cells []Cell
+	for _, app := range core.Apps() {
+		a, _ := core.Lookup(app)
+		for _, v := range a.Versions() {
+			cells = append(cells, Cell{App: app, Version: v.Name, Platform: "svm", Speedup: true})
+		}
+	}
+	return cells
 }
 
 // HeadlineSpeedups renders the paper's §4 per-application progression on
@@ -166,6 +252,7 @@ func fig17(r *Runner) (string, error) {
 // read off directly.
 func HeadlineSpeedups(r *Runner) (string, error) {
 	var b strings.Builder
+	var fails []string
 	apps := core.Apps()
 	sort.Strings(apps)
 	for _, app := range apps {
@@ -174,12 +261,15 @@ func HeadlineSpeedups(r *Runner) (string, error) {
 		for _, v := range a.Versions() {
 			s, err := r.Speedup(app, v.Name, "svm")
 			if err != nil {
-				return "", err
+				fmt.Fprintf(&b, "  %s=error", v.Name)
+				fails = append(fails, cellErr(app+"/"+v.Name+"@svm", err))
+				continue
 			}
 			fmt.Fprintf(&b, "  %s=%.2f", v.Name, s)
 		}
 		fmt.Fprintln(&b)
 	}
+	writeFails(&b, fails)
 	return b.String(), nil
 }
 

@@ -8,6 +8,9 @@ package harness
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -30,8 +33,18 @@ type Spec struct {
 	SkipVerify bool
 }
 
+// label is the human-readable run name shown in tables and error messages.
 func (s Spec) label() string {
 	return fmt.Sprintf("%s/%s on %s (P=%d)", s.App, s.Version, s.Platform, s.NumProcs)
+}
+
+// memoKey covers every behavior-affecting field, so a cached result can
+// never alias a spec that would execute differently (label omits Scale and
+// the diagnostic flags for readability, which made it unsafe as a cache
+// key: a FreeCSFaults run would have aliased a normal one).
+func (s Spec) memoKey() string {
+	return fmt.Sprintf("%s/%s@%s p=%d scale=%g freecs=%v noverify=%v",
+		s.App, s.Version, s.Platform, s.NumProcs, s.Scale, s.FreeCSFaults, s.SkipVerify)
 }
 
 func (s Spec) withDefaults() Spec {
@@ -89,8 +102,18 @@ func execute(s Spec, profile bool) (*stats.Run, string, error) {
 	if profile && prof != nil {
 		prof.EnableProfiling()
 	}
-	k := sim.New(pl, sim.Config{NumProcs: s.NumProcs, FreeCSFaults: s.FreeCSFaults})
-	run := k.Run(s.label(), inst.Body)
+	k := sim.New(pl, sim.Config{
+		NumProcs:       s.NumProcs,
+		BarrierManager: sim.AutoBarrierManager,
+		FreeCSFaults:   s.FreeCSFaults,
+	})
+	run, err := k.RunErr(s.label(), inst.Body)
+	if err != nil {
+		// Panics and deadlocks inside the simulation come back as
+		// structured errors; label the cell and pass them through so a
+		// figure run can print an error row instead of crashing.
+		return nil, "", fmt.Errorf("%s: %w", s.label(), err)
+	}
 	if !s.SkipVerify {
 		if err := inst.Verify(); err != nil {
 			return nil, "", fmt.Errorf("%s: %w", s.label(), err)
@@ -104,13 +127,25 @@ func execute(s Spec, profile bool) (*stats.Run, string, error) {
 }
 
 // Runner executes experiments with a cache of uniprocessor baselines. Scale
-// is a multiplier applied on top of each application's BaseScale.
+// is a multiplier applied on top of each application's BaseScale. A Runner
+// is safe for concurrent use: each distinct experiment executes exactly once
+// (singleflight — concurrent requests for the same cell wait for the first),
+// and failures are memoized alongside results so a bad cell is not retried.
 type Runner struct {
 	NumProcs int
 	Scale    float64
 
-	t1   map[string]uint64      // app/platform -> uniprocessor orig time
-	runs map[string]*stats.Run  // full spec label -> run
+	mu   sync.Mutex
+	t1   map[string]*memoEntry // app@platform -> uniprocessor orig run
+	runs map[string]*memoEntry // spec memo key -> run
+}
+
+// memoEntry is one singleflight slot: the goroutine that claims a key
+// executes the experiment and closes done; every other requester waits.
+type memoEntry struct {
+	done chan struct{}
+	run  *stats.Run
+	err  error
 }
 
 // NewRunner creates a Runner for the given processor count and scale.
@@ -118,52 +153,102 @@ func NewRunner(np int, scale float64) *Runner {
 	return &Runner{
 		NumProcs: np,
 		Scale:    scale,
-		t1:       map[string]uint64{},
-		runs:     map[string]*stats.Run{},
+		t1:       map[string]*memoEntry{},
+		runs:     map[string]*memoEntry{},
 	}
+}
+
+// claim returns the memo entry for key in m, creating it if absent; the
+// second result reports whether the caller claimed it and must execute the
+// experiment and close done.
+func (r *Runner) claim(m map[string]*memoEntry, key string) (*memoEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := m[key]; ok {
+		return e, false
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m[key] = e
+	return e, true
 }
 
 // Run executes (and memoizes) an experiment for this runner's processor
 // count and scale.
 func (r *Runner) Run(app, version, plat string) (*stats.Run, error) {
 	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app)}
-	key := s.label()
-	if run, ok := r.runs[key]; ok {
-		return run, nil
+	e, mine := r.claim(r.runs, s.memoKey())
+	if mine {
+		e.run, e.err = Execute(s)
+		close(e.done)
 	}
-	run, err := Execute(s)
-	if err != nil {
-		return nil, err
-	}
-	r.runs[key] = run
-	return run, nil
+	<-e.done
+	return e.run, e.err
 }
 
 // Record inserts an externally-executed run into the memo cache (used by the
 // CLI to avoid re-running the experiment it just printed).
 func (r *Runner) Record(app, version, plat string, run *stats.Run) {
 	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app)}
-	r.runs[s.label()] = run
+	e := &memoEntry{done: make(chan struct{}), run: run}
+	close(e.done)
+	r.mu.Lock()
+	r.runs[s.memoKey()] = e
+	r.mu.Unlock()
 }
 
 // Baseline returns the uniprocessor execution time of the original version
-// of app on plat (the paper's speedup denominator source).
+// of app on plat (the paper's speedup denominator source). Baselines are
+// deduplicated singleflight-style, so a parallel figure run executes each
+// one exactly once no matter how many cells divide by it.
 func (r *Runner) Baseline(app, plat string) (uint64, error) {
-	key := app + "@" + plat
-	if t, ok := r.t1[key]; ok {
-		return t, nil
+	e, mine := r.claim(r.t1, app+"@"+plat)
+	if mine {
+		if a, err := core.Lookup(app); err != nil {
+			e.err = err
+		} else {
+			origName := a.Versions()[0].Name
+			e.run, e.err = Execute(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app)})
+		}
+		close(e.done)
 	}
-	a, err := core.Lookup(app)
-	if err != nil {
-		return 0, err
+	<-e.done
+	if e.err != nil {
+		return 0, e.err
 	}
-	origName := a.Versions()[0].Name
-	run, err := Execute(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app)})
-	if err != nil {
-		return 0, err
+	return e.run.EndTime, nil
+}
+
+// FailedCells returns a sorted, one-line-per-cell description of every
+// memoized execution that ended in an error — the experiments a figure run
+// rendered as error rows. Empty means every cell succeeded.
+func (r *Runner) FailedCells() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	collect := func(m map[string]*memoEntry, prefix string) {
+		for key, e := range m {
+			select {
+			case <-e.done:
+				if e.err != nil {
+					out = append(out, prefix+key+": "+firstLine(e.err.Error()))
+				}
+			default: // still executing; not a result yet
+			}
+		}
 	}
-	r.t1[key] = run.EndTime
-	return run.EndTime, nil
+	collect(r.runs, "")
+	collect(r.t1, "baseline ")
+	sort.Strings(out)
+	return out
+}
+
+// firstLine truncates multi-line error text (deadlock state dumps) to its
+// first line for one-row-per-cell reports.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
 }
 
 // Speedup returns T1(orig)/Tp(version) on the given platform.

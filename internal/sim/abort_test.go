@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to at most
+// want, giving exiting goroutines time to be reaped.
+func settleGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestProcPanicReturnsError(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 8})
+	run, err := k.RunErr("boom", func(p *Proc) {
+		p.Compute(uint64(10 * (p.ID() + 1)))
+		p.Barrier()
+		if p.ID() == 3 {
+			panic("deliberate failure")
+		}
+		p.Barrier() // everyone else parks here, waiting for proc 3
+	})
+	if run != nil {
+		t.Error("failed run returned non-nil stats")
+	}
+	var pe *ProcPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProcPanicError", err)
+	}
+	if pe.Proc != 3 {
+		t.Errorf("panicking proc = %d, want 3", pe.Proc)
+	}
+	if !strings.Contains(err.Error(), "processor 3") || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("error message missing proc id or panic value: %q", err.Error())
+	}
+	if pe.Stack == "" {
+		t.Error("no stack captured")
+	}
+}
+
+func TestProcPanicLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		k := New(&NopPlatform{}, Config{NumProcs: 8})
+		_, err := k.RunErr("boom", func(p *Proc) {
+			p.Lock(1)
+			p.Compute(10)
+			p.Unlock(1)
+			if p.ID() == 0 {
+				panic("die")
+			}
+			p.Barrier()
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if n := settleGoroutines(t, before); n > before {
+		t.Errorf("goroutines grew from %d to %d: parked procs leaked", before, n)
+	}
+}
+
+func TestDeadlockReturnsErrorWithDump(t *testing.T) {
+	before := runtime.NumGoroutine()
+	k := New(&NopPlatform{}, Config{NumProcs: 4})
+	_, err := k.RunErr("dead", func(p *Proc) {
+		if p.ID() == 0 {
+			p.Lock(9)
+			p.Barrier() // waits for the others, who wait on the lock
+			p.Unlock(9)
+		} else {
+			p.Lock(9)
+			p.Unlock(9)
+			p.Barrier()
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if !strings.Contains(de.Dump, "lock 9") || !strings.Contains(de.Dump, "waiters=3") {
+		t.Errorf("state dump missing the contended lock:\n%s", de.Dump)
+	}
+	if !strings.Contains(de.Dump, "barrier: 1 arrived") {
+		t.Errorf("state dump missing barrier state:\n%s", de.Dump)
+	}
+	if n := settleGoroutines(t, before); n > before {
+		t.Errorf("goroutines grew from %d to %d after deadlock", before, n)
+	}
+}
+
+func TestRunPanicsOnFailure(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected Run to re-panic on processor failure")
+		}
+		if _, ok := r.(*ProcPanicError); !ok {
+			t.Errorf("recovered %T, want *ProcPanicError", r)
+		}
+	}()
+	k := New(&NopPlatform{}, Config{NumProcs: 2})
+	k.Run("boom", func(p *Proc) { panic("die") })
+}
+
+func TestKernelReusableAfterFailure(t *testing.T) {
+	k := New(&NopPlatform{}, Config{NumProcs: 4})
+	if _, err := k.RunErr("boom", func(p *Proc) {
+		if p.ID() == 2 {
+			panic("die")
+		}
+		p.Barrier()
+	}); err == nil {
+		t.Fatal("expected error from panicking run")
+	}
+	run, err := k.RunErr("ok", func(p *Proc) {
+		p.Compute(100)
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("kernel not reusable after failed run: %v", err)
+	}
+	if run.EndTime != 100 {
+		t.Errorf("end time = %d, want 100", run.EndTime)
+	}
+}

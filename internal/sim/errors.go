@@ -1,0 +1,37 @@
+package sim
+
+import "fmt"
+
+// ProcPanicError reports that a simulated processor's body panicked. The
+// kernel recovers the panic, unwinds every other processor goroutine, and
+// returns this error from RunErr instead of crashing the host process — one
+// misbehaving application version must not take down a whole figure run.
+type ProcPanicError struct {
+	// Proc is the simulated processor whose body panicked.
+	Proc int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack string
+}
+
+func (e *ProcPanicError) Error() string {
+	return fmt.Sprintf("sim: processor %d panicked: %v", e.Proc, e.Value)
+}
+
+// DeadlockError reports that no processor was runnable before every body
+// returned: all live processors are parked on locks or the barrier with
+// nobody left to wake them.
+type DeadlockError struct {
+	// Dump is the kernel state at the point of deadlock: per-processor
+	// state and clock, barrier arrival count, and held/contended locks.
+	Dump string
+}
+
+func (e *DeadlockError) Error() string {
+	return "sim: deadlock — no runnable processor\n" + e.Dump
+}
+
+// abortSim is the sentinel panic used to unwind parked processor goroutines
+// when a run aborts; the goroutine wrapper recovers it silently.
+type abortSim struct{}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/stats"
@@ -18,8 +19,10 @@ type Config struct {
 	Quantum uint64
 	// BarrierManager is the processor charged with centralized barrier
 	// protocol work (the paper's LU analysis hinges on processor 10 being
-	// the manager of the most important barrier). Defaults to NumProcs-6
-	// when NumProcs >= 8 (so 10 for 16 processors), else 0.
+	// the manager of the most important barrier). AutoBarrierManager (any
+	// negative value) selects the paper's placement — NumProcs-6 when
+	// NumProcs >= 8 (so 10 for 16 processors), else 0. An explicit value,
+	// including 0, pins the manager to that processor.
 	BarrierManager int
 	// FreeCSFaults, when true, makes data-access costs inside critical
 	// sections free — the paper's diagnostic for critical-section
@@ -28,6 +31,11 @@ type Config struct {
 	FreeCSFaults bool
 }
 
+// AutoBarrierManager selects the paper's default barrier-manager placement.
+// It is distinct from 0 so that processor 0 is explicitly selectable (an
+// earlier version of Config treated 0 as "unset" and silently overrode it).
+const AutoBarrierManager = -1
+
 func (c Config) withDefaults() Config {
 	if c.NumProcs <= 0 {
 		c.NumProcs = 1
@@ -35,8 +43,12 @@ func (c Config) withDefaults() Config {
 	if c.Quantum == 0 {
 		c.Quantum = 2000
 	}
-	if c.BarrierManager == 0 && c.NumProcs >= 8 {
-		c.BarrierManager = c.NumProcs - 6
+	if c.BarrierManager < 0 {
+		if c.NumProcs >= 8 {
+			c.BarrierManager = c.NumProcs - 6
+		} else {
+			c.BarrierManager = 0
+		}
 	}
 	if c.BarrierManager >= c.NumProcs {
 		c.BarrierManager = c.NumProcs - 1
@@ -90,7 +102,8 @@ type Kernel struct {
 	locks          map[int]*lockState
 	bar            barrierState
 
-	running bool
+	running  bool
+	aborting bool // set while unwinding parked goroutines after a failure
 }
 
 // New creates a kernel for the given platform and configuration.
@@ -132,12 +145,30 @@ func (k *Kernel) ChargeHandler(node int, cycles uint64) {
 }
 
 // Run executes body once per simulated processor and returns the collected
-// statistics. name labels the resulting stats.Run.
+// statistics. name labels the resulting stats.Run. It is a thin wrapper
+// around RunErr that panics on simulation failure, preserving the historical
+// crash-on-misbehavior contract for tests and examples.
 func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
+	run, err := k.RunErr(name, body)
+	if err != nil {
+		panic(err)
+	}
+	return run
+}
+
+// RunErr executes body once per simulated processor and returns the
+// collected statistics. A panic in any processor body is recovered and
+// returned as a *ProcPanicError; a synchronization deadlock (no runnable
+// processor before every body returned) is returned as a *DeadlockError
+// carrying the kernel state dump. In both cases every remaining processor
+// goroutine is unwound before RunErr returns, so a failed simulation leaks
+// nothing and the kernel can be reused.
+func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 	if k.running {
-		panic("sim: kernel already running")
+		return nil, fmt.Errorf("sim: kernel already running")
 	}
 	k.running = true
+	k.aborting = false
 	defer func() { k.running = false }()
 
 	k.run = stats.NewRun(name, k.cfg.NumProcs)
@@ -156,12 +187,18 @@ func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
 		go func(p *Proc) {
 			defer func() {
 				if r := recover(); r != nil {
-					p.panicked = r
+					if _, abort := r.(abortSim); !abort {
+						p.panicked = r
+						p.stack = string(debug.Stack())
+					}
 				}
 				p.op = opDone
 				k.yield <- p
 			}()
 			<-p.resume
+			if k.aborting {
+				return
+			}
 			body(p)
 		}(p)
 	}
@@ -170,7 +207,9 @@ func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
 	for live > 0 {
 		p := k.pickReady()
 		if p == nil {
-			panic("sim: deadlock — no runnable processor\n" + k.stateDump())
+			err := &DeadlockError{Dump: k.stateDump()}
+			k.unwind()
+			return nil, err
 		}
 		k.applyDebt(p)
 		p.state = stRunning
@@ -186,9 +225,9 @@ func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
 			q.state = stDone
 			live--
 			if q.panicked != nil {
-				// Drain remaining procs' goroutines? They are
-				// blocked on resume; the process is aborting.
-				panic(fmt.Sprintf("sim: processor %d panicked: %v", q.id, q.panicked))
+				err := &ProcPanicError{Proc: q.id, Value: q.panicked, Stack: q.stack}
+				k.unwind()
+				return nil, err
 			}
 		}
 	}
@@ -201,7 +240,25 @@ func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
 		}
 	}
 	k.run.EndTime = end
-	return k.run
+	return k.run, nil
+}
+
+// unwind releases every not-yet-done processor goroutine after a failed run.
+// Each one is blocked receiving on its resume channel — parked on a lock or
+// barrier, ready after a yield, or never started. Resuming it with the
+// aborting flag set makes it panic with the abortSim sentinel (recovered
+// silently by its goroutine wrapper) or skip its body, then report opDone,
+// so no goroutine outlives the run.
+func (k *Kernel) unwind() {
+	k.aborting = true
+	for _, p := range k.procs {
+		if p.state == stDone {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.yield
+		p.state = stDone
+	}
 }
 
 // pickReady returns the ready processor with the smallest clock (ties by id)

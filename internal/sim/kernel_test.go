@@ -157,13 +157,27 @@ func TestKernelReuseAcrossRuns(t *testing.T) {
 }
 
 func TestBarrierManagerDefault(t *testing.T) {
-	k := New(&NopPlatform{}, Config{NumProcs: 16})
+	k := New(&NopPlatform{}, Config{NumProcs: 16, BarrierManager: AutoBarrierManager})
 	if k.Config().BarrierManager != 10 {
 		t.Errorf("barrier manager = %d, want 10 (paper's LU analysis)", k.Config().BarrierManager)
 	}
-	k = New(&NopPlatform{}, Config{NumProcs: 4})
+	k = New(&NopPlatform{}, Config{NumProcs: 4, BarrierManager: AutoBarrierManager})
 	if k.Config().BarrierManager != 0 {
 		t.Errorf("small-run barrier manager = %d, want 0", k.Config().BarrierManager)
+	}
+}
+
+func TestBarrierManagerExplicitZero(t *testing.T) {
+	// An explicit processor 0 must be honored even on large runs; it used
+	// to be indistinguishable from "unset" and silently overridden to
+	// NumProcs-6.
+	k := New(&NopPlatform{}, Config{NumProcs: 16})
+	if k.Config().BarrierManager != 0 {
+		t.Errorf("explicit manager 0 = %d, want 0", k.Config().BarrierManager)
+	}
+	k = New(&NopPlatform{}, Config{NumProcs: 16, BarrierManager: 3})
+	if k.Config().BarrierManager != 3 {
+		t.Errorf("explicit manager 3 = %d, want 3", k.Config().BarrierManager)
 	}
 }
 

@@ -25,6 +25,7 @@ type Proc struct {
 	op         opKind
 	sliceStart uint64 // clock at last resume, for quantum bounding
 	panicked   any
+	stack      string // goroutine stack captured when panicked is set
 }
 
 // ID returns the processor number (0-based).
@@ -46,6 +47,10 @@ func (p *Proc) yieldNow() {
 	p.op = opYield
 	p.k.yield <- p
 	<-p.resume
+	if p.k.aborting {
+		// Poisoned resume: the kernel is unwinding a failed run.
+		panic(abortSim{})
+	}
 }
 
 // park blocks until another process makes this one ready again.
@@ -54,6 +59,9 @@ func (p *Proc) park() {
 	p.op = opPark
 	p.k.yield <- p
 	<-p.resume
+	if p.k.aborting {
+		panic(abortSim{})
+	}
 }
 
 // checkpoint yields if this processor has run past the next-ready

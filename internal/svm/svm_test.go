@@ -11,7 +11,7 @@ import (
 func setup(np int) (*mem.AddressSpace, *Platform, *sim.Kernel) {
 	as := mem.NewAddressSpace(4096, np)
 	p := New(as, DefaultParams(), np)
-	k := sim.New(p, sim.Config{NumProcs: np})
+	k := sim.New(p, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
 	return as, p, k
 }
 
@@ -287,7 +287,7 @@ func TestBarrierManagerChargedHandlerTime(t *testing.T) {
 	np := 16
 	as, _, _ := setup(np)
 	plat := New(as, DefaultParams(), np)
-	k := sim.New(plat, sim.Config{NumProcs: np})
+	k := sim.New(plat, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
 	run := k.Run("mgr", func(p *sim.Proc) {
 		p.Barrier()
 		p.Compute(10)
