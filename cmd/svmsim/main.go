@@ -6,6 +6,8 @@
 // Usage:
 //
 //	svmsim -app lu -version 4da -platform svm -p 16 -scale 1.0 [-speedup] [-freecs]
+//	svmsim -app lu -version 4d -platform svm -trace out.json   # Perfetto timeline
+//	svmsim -app radix -json                                    # machine-readable result
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -29,6 +32,10 @@ func main() {
 	freecs := flag.Bool("freecs", false, "paper diagnostic: page faults inside critical sections are free")
 	hot := flag.Bool("hot", false, "print the SVM hot-page / hot-lock profile (paper §6's performance tool)")
 	list := flag.Bool("list", false, "list applications and versions")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of protocol events to this file")
+	traceBuf := flag.Int("trace-buffer", 0, "keep the last N protocol events for post-mortem dumps on simulation errors")
+	sample := flag.Uint64("sample", 0, "sample the breakdown every N cycles into the trace (default 100000 with -trace)")
+	jsonOut := flag.Bool("json", false, "print the result as machine-readable JSON instead of tables")
 	flag.Parse()
 
 	if *list {
@@ -45,7 +52,26 @@ func main() {
 	spec := harness.Spec{
 		App: *app, Version: *version, Platform: *plat,
 		NumProcs: *np, Scale: *scale, FreeCSFaults: *freecs,
+		TraceRing: *traceBuf,
 	}
+	var chrome *trace.Chrome
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svmsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		chrome = trace.NewChrome(f)
+		spec.TraceSink = chrome
+		spec.SampleInterval = *sample
+		if spec.SampleInterval == 0 {
+			spec.SampleInterval = 100000
+		}
+	} else if *sample > 0 {
+		spec.SampleInterval = *sample
+	}
+
 	var run *stats.Run
 	var report string
 	var err error
@@ -54,19 +80,17 @@ func main() {
 	} else {
 		run, err = harness.Execute(spec)
 	}
+	if chrome != nil {
+		if cerr := chrome.Close(); cerr != nil && err == nil {
+			fmt.Fprintln(os.Stderr, "svmsim: writing trace:", cerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svmsim:", err)
 		os.Exit(1)
 	}
-	fmt.Print(run.BreakdownTable())
-	if report != "" {
-		fmt.Print(report)
-	}
-	c := run.AggregateCounters()
-	fmt.Printf("counters: reads=%d writes=%d faults=%d fetches=%d twins=%d diffs=%d inval=%d locks=%d remote=%d bus=%d tasks=%d stolen=%d\n",
-		c.Reads, c.Writes, c.PageFaults, c.PageFetches, c.TwinsMade, c.DiffsCreated,
-		c.Invalidations, c.LockAcquires, c.RemoteMisses, c.BusTransactions, c.TasksRun, c.TasksStolen)
 
+	var spFactor float64
 	if *speedup {
 		a, _ := core.Lookup(*app)
 		base, err := harness.Execute(harness.Spec{
@@ -77,7 +101,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "svmsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("speedup vs uniprocessor %s/orig: %.2f\n", *app,
-			float64(base.EndTime)/float64(run.EndTime))
+		spFactor = float64(base.EndTime) / float64(run.EndTime)
+	}
+
+	if *jsonOut {
+		out, err := harness.RunJSON(spec, run, spFactor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", out)
+		return
+	}
+
+	fmt.Print(run.BreakdownTable())
+	if report != "" {
+		fmt.Print(report)
+	}
+	c := run.AggregateCounters()
+	fmt.Printf("counters: reads=%d writes=%d faults=%d fetches=%d twins=%d diffs=%d inval=%d locks=%d remote=%d bus=%d tasks=%d stolen=%d\n",
+		c.Reads, c.Writes, c.PageFaults, c.PageFetches, c.TwinsMade, c.DiffsCreated,
+		c.Invalidations, c.LockAcquires, c.RemoteMisses, c.BusTransactions, c.TasksRun, c.TasksStolen)
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+
+	if *speedup {
+		fmt.Printf("speedup vs uniprocessor %s/orig: %.2f\n", *app, spFactor)
 	}
 }

@@ -39,7 +39,7 @@ func histogram(plat string, private bool) uint64 {
 		log.Fatal(err)
 	}
 	k := sim.New(pl, sim.Config{NumProcs: np, BarrierManager: sim.AutoBarrierManager})
-	run := k.Run("histogram", func(p *sim.Proc) {
+	run, err := k.RunErr("histogram", func(p *sim.Proc) {
 		id := p.ID()
 		per := nKeys / np
 		base := keys + uint64(id*per*4)
@@ -69,6 +69,12 @@ func histogram(plat string, private bool) uint64 {
 		}
 		p.Barrier()
 	})
+	if err != nil {
+		// A panic or deadlock in the body comes back as a contained error
+		// (with the last protocol events when a trace ring is installed)
+		// instead of crashing the host.
+		log.Fatal(err)
+	}
 	return run.EndTime
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CacheConfig is the paper's DSM node cache hierarchy.
@@ -63,10 +64,10 @@ type dirEntry struct {
 
 // Platform is the directory-based CC-NUMA machine model.
 type Platform struct {
-	P     Params
-	as    *mem.AddressSpace
-	k     *sim.Kernel
-	np    int
+	P      Params
+	as     *mem.AddressSpace
+	k      *sim.Kernel
+	np     int
 	caches []*cache.Hierarchy
 	dir    map[uint64]*dirEntry
 	dirOcc []sim.Resource // per home node
@@ -149,6 +150,8 @@ func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 	// Home directory occupancy models contention at home nodes.
 	start := d.dirOcc[home].Acquire(now, d.P.DirOccupy)
 	contention := start - now
+	d.k.Emit(trace.DirOccupy, home, start, la, d.P.DirOccupy)
+	var kind trace.Kind // 2-/3-hop classification for the trace stream
 
 	switch {
 	case write:
@@ -165,12 +168,14 @@ func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			d.caches[e.owner].SetState(addr, cache.Invalid)
 			c.ThreeHopMisses++
 			c.RemoteMisses++
+			kind = trace.Miss3Hop
 		case e.sharers&^(1<<uint(p)) != 0 || e.sharers&(1<<uint(p)) != 0 && d.hasLine(p, addr):
 			// Upgrade (or fetch+invalidate) with sharers.
 			base = d.P.UpgradeBase
 			if home != p {
 				base += d.P.UpgradeHop
 				c.RemoteMisses++
+				kind = trace.Miss2Hop
 			} else {
 				c.LocalMisses++
 			}
@@ -190,6 +195,7 @@ func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			} else {
 				base = d.P.RemoteClean
 				c.RemoteMisses++
+				kind = trace.Miss2Hop
 			}
 		}
 		e.sharers = 1 << uint(p)
@@ -211,6 +217,7 @@ func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			e.owner = -1
 			c.ThreeHopMisses++
 			c.RemoteMisses++
+			kind = trace.Miss3Hop
 			cost.DataWait += base + contention
 		} else if home == p {
 			base = d.P.LocalMem
@@ -219,6 +226,7 @@ func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		} else {
 			base = d.P.RemoteClean
 			c.RemoteMisses++
+			kind = trace.Miss2Hop
 			cost.DataWait += base + contention
 		}
 		e.sharers |= 1 << uint(p)
@@ -228,6 +236,9 @@ func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			e.owner = int8(p)
 		}
 		h.Access(addr, false, fill)
+	}
+	if kind != trace.KindNone {
+		d.k.Emit(kind, p, now, la, cost.DataWait)
 	}
 	return cost
 }

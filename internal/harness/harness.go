@@ -17,6 +17,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Spec names one simulated execution.
@@ -31,6 +32,18 @@ type Spec struct {
 	// SkipVerify skips result verification (benchmarks re-running a
 	// version many times).
 	SkipVerify bool
+
+	// TraceSink, when non-nil, receives every protocol event of the run
+	// (see internal/trace). TraceRing, when positive, keeps the last N
+	// events for post-mortem dumps in contained simulation errors.
+	// SampleInterval, when positive, samples the per-processor breakdown
+	// every that many virtual cycles into a Sampler sink. These are
+	// observability hooks, not behavior: they never affect simulated
+	// timing, and they are deliberately excluded from memoKey — Runner
+	// never sets them, only direct Execute calls do.
+	TraceSink      trace.Sink
+	TraceRing      int
+	SampleInterval uint64
 }
 
 // label is the human-readable run name shown in tables and error messages.
@@ -107,6 +120,15 @@ func execute(s Spec, profile bool) (*stats.Run, string, error) {
 		BarrierManager: sim.AutoBarrierManager,
 		FreeCSFaults:   s.FreeCSFaults,
 	})
+	if s.TraceSink != nil {
+		k.SetTraceSink(s.TraceSink)
+	}
+	if s.TraceRing > 0 {
+		k.SetTraceRing(s.TraceRing)
+	}
+	if s.SampleInterval > 0 {
+		k.SetSampleInterval(s.SampleInterval)
+	}
 	run, err := k.RunErr(s.label(), inst.Body)
 	if err != nil {
 		// Panics and deadlocks inside the simulation come back as

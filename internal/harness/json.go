@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"encoding/json"
+
+	"repro/internal/stats"
+)
+
+// runJSON is the machine-readable form of one experiment, produced by
+// RunJSON for `svmsim -json` and scripted figure pipelines.
+type runJSON struct {
+	App      string  `json:"app"`
+	Version  string  `json:"version"`
+	Platform string  `json:"platform"`
+	Procs    int     `json:"procs"`
+	Scale    float64 `json:"scale"`
+	EndTime  uint64  `json:"end_time"`
+	// Cycles maps each breakdown category to its per-processor cycle
+	// counts, index = processor id.
+	Cycles map[string][]uint64 `json:"cycles"`
+	// Counters is the run's aggregate event counts (sum over processors).
+	Counters stats.Counters `json:"counters"`
+	Speedup  float64        `json:"speedup,omitempty"`
+	// Phases holds named phase durations when the application records them.
+	Phases map[string]uint64 `json:"phases,omitempty"`
+}
+
+// RunJSON renders one run as indented JSON: identity fields from the spec,
+// per-processor cycles for every breakdown category, aggregate counters, and
+// the speedup when the caller computed one (pass 0 to omit it).
+func RunJSON(s Spec, run *stats.Run, speedup float64) ([]byte, error) {
+	s = s.withDefaults()
+	out := runJSON{
+		App:      s.App,
+		Version:  s.Version,
+		Platform: s.Platform,
+		Procs:    s.NumProcs,
+		Scale:    s.Scale,
+		EndTime:  run.EndTime,
+		Cycles:   map[string][]uint64{},
+		Counters: run.AggregateCounters(),
+		Speedup:  speedup,
+	}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		per := make([]uint64, len(run.Procs))
+		for i := range run.Procs {
+			per[i] = run.Procs[i].Cycles[c]
+		}
+		out.Cycles[c.String()] = per
+	}
+	if len(run.PhaseTimes) > 0 {
+		out.Phases = run.PhaseTimes
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	_ "repro/internal/apps"
+	"repro/internal/trace"
+)
+
+// TestExecuteWithTraceSinks runs a real application with both a counting sink
+// and a Chrome exporter attached, checking the acceptance criteria end to
+// end: the exporter's output is valid trace-event JSON with processor and
+// resource tracks, and the counting sink's totals match the run's aggregate
+// counters exactly.
+func TestExecuteWithTraceSinks(t *testing.T) {
+	counting := trace.NewCounting(4)
+	var buf bytes.Buffer
+	chrome := trace.NewChrome(&buf)
+	run, err := Execute(Spec{
+		App: "radix", Scale: 0.25, NumProcs: 4,
+		TraceSink:      trace.Tee(counting, chrome),
+		SampleInterval: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chrome.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := run.AggregateCounters()
+	if got := counting.Count(trace.PageFetch); got != agg.PageFetches {
+		t.Errorf("PageFetch events = %d, counters say %d", got, agg.PageFetches)
+	}
+	if got := counting.Count(trace.LockGrant); got != agg.LockAcquires {
+		t.Errorf("LockGrant events = %d, counters say %d", got, agg.LockAcquires)
+	}
+	if got := counting.Count(trace.TwinCreate); got != agg.TwinsMade {
+		t.Errorf("TwinCreate events = %d, counters say %d", got, agg.TwinsMade)
+	}
+	if got := counting.Count(trace.DiffCreate); got != agg.DiffsCreated {
+		t.Errorf("DiffCreate events = %d, counters say %d", got, agg.DiffsCreated)
+	}
+	if got := counting.Count(trace.Invalidate); got != agg.Invalidations {
+		t.Errorf("Invalidate events = %d, counters say %d", got, agg.Invalidations)
+	}
+
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var xEvents, cEvents int
+	pids := map[float64]bool{}
+	for _, e := range evs {
+		switch e["ph"] {
+		case "X":
+			xEvents++
+		case "C":
+			cEvents++
+		}
+		if pid, ok := e["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if xEvents == 0 {
+		t.Error("no complete events in trace")
+	}
+	if cEvents == 0 {
+		t.Error("no breakdown counter samples in trace")
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("trace missing processor (pid 0) or resource (pid 1) tracks: %v", pids)
+	}
+}
+
+// TestExecuteWithTraceRing checks the Spec.TraceRing plumbing: a deadlocking
+// run's error must render the last protocol events.
+func TestExecuteWithTraceRing(t *testing.T) {
+	counting := trace.NewCounting(4)
+	a, err := Execute(Spec{App: "lu", Version: "4d", Scale: 0.25, NumProcs: 4, TraceSink: counting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracing must not change simulated timing: the same cell without any
+	// sinks ends at the same virtual time.
+	b, err := Execute(Spec{App: "lu", Version: "4d", Scale: 0.25, NumProcs: 4, TraceRing: 64, SampleInterval: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EndTime != b.EndTime {
+		t.Errorf("tracing changed timing: %d vs %d cycles", a.EndTime, b.EndTime)
+	}
+}
+
+func TestRunJSONShape(t *testing.T) {
+	spec := Spec{App: "radix", Scale: 0.25, NumProcs: 4}
+	run, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunJSON(spec, run, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		App      string              `json:"app"`
+		Version  string              `json:"version"`
+		Platform string              `json:"platform"`
+		Procs    int                 `json:"procs"`
+		EndTime  uint64              `json:"end_time"`
+		Cycles   map[string][]uint64 `json:"cycles"`
+		Speedup  float64             `json:"speedup"`
+	}
+	if err := json.Unmarshal(out, &d); err != nil {
+		t.Fatalf("RunJSON output is not valid JSON: %v", err)
+	}
+	if d.App != "radix" || d.Version != "orig" || d.Platform != "svm" || d.Procs != 4 {
+		t.Errorf("identity fields wrong: %+v", d)
+	}
+	if d.EndTime != run.EndTime {
+		t.Errorf("end_time = %d, want %d", d.EndTime, run.EndTime)
+	}
+	if d.Speedup != 1.5 {
+		t.Errorf("speedup = %v, want 1.5", d.Speedup)
+	}
+	if len(d.Cycles) != 6 {
+		t.Fatalf("got %d cycle categories, want 6", len(d.Cycles))
+	}
+	for cat, per := range d.Cycles {
+		if len(per) != 4 {
+			t.Errorf("category %s has %d entries, want 4", cat, len(per))
+		}
+	}
+	// Per-proc compute must match the run record.
+	for i, v := range d.Cycles["Compute"] {
+		if v != run.Procs[i].Cycles[0] {
+			t.Errorf("Compute[%d] = %d, want %d", i, v, run.Procs[i].Cycles[0])
+		}
+	}
+}

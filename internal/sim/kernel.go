@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config controls a simulated run.
@@ -74,13 +75,14 @@ type lockState struct {
 }
 
 type lockWaiter struct {
-	p         *Proc
-	reqStart  uint64 // clock when Lock() was called
-	reqReady  uint64 // reqStart + request cost
+	p        *Proc
+	reqStart uint64 // clock when Lock() was called
+	reqReady uint64 // reqStart + request cost
 }
 
 type barrierState struct {
 	arrivals []uint64 // completed arrival time per proc; 0 = not arrived
+	starts   []uint64 // clock at Barrier() entry per proc, for trace episodes
 	waiting  []*Proc
 	count    int
 	epoch    uint64
@@ -104,6 +106,19 @@ type Kernel struct {
 
 	running  bool
 	aborting bool // set while unwinding parked goroutines after a failure
+
+	// Tracing. tr is the active sink for the current run (nil when tracing
+	// is off — the fast path every event site branches on); it is rebuilt
+	// each run as the Tee of the persistent user sink, the post-mortem
+	// ring, and any sinks the platform installed during Attach.
+	tr          trace.Sink
+	userSink    trace.Sink
+	ring        *trace.Ring
+	runSinks    []trace.Sink
+	sampler     trace.Sampler
+	sampleEvery uint64
+	nextSample  uint64
+	lastSample  uint64
 }
 
 // New creates a kernel for the given platform and configuration.
@@ -118,7 +133,72 @@ func New(plat Platform, cfg Config) *Kernel {
 		locks:          map[int]*lockState{},
 	}
 	k.bar.arrivals = make([]uint64, cfg.NumProcs)
+	k.bar.starts = make([]uint64, cfg.NumProcs)
 	return k
+}
+
+// SetTraceSink installs a protocol event sink that persists across runs
+// (nil turns user tracing off). The sink receives every event of subsequent
+// runs; if it also implements trace.Sampler and a sample interval is set, it
+// receives interval breakdown samples too.
+func (k *Kernel) SetTraceSink(s trace.Sink) { k.userSink = s }
+
+// SetTraceRing installs a post-mortem ring keeping the last n protocol
+// events; the ring's contents are attached to ProcPanicError/DeadlockError
+// so contained failures are self-diagnosing. n <= 0 removes the ring. The
+// returned ring can also be inspected after a successful run.
+func (k *Kernel) SetTraceRing(n int) *trace.Ring {
+	if n <= 0 {
+		k.ring = nil
+		return nil
+	}
+	k.ring = trace.NewRing(n)
+	return k.ring
+}
+
+// SetSampleInterval enables interval time-series sampling: every `cycles` of
+// virtual time, sinks implementing trace.Sampler receive a snapshot of the
+// per-processor breakdown categories. 0 disables sampling.
+func (k *Kernel) SetSampleInterval(cycles uint64) { k.sampleEvery = cycles }
+
+// AddRunSink installs an event sink for the current run only. It is meant
+// to be called from a Platform's Attach (e.g. the SVM profiler's counting
+// sink); run sinks are discarded when the next run starts.
+func (k *Kernel) AddRunSink(s trace.Sink) {
+	if s != nil {
+		k.runSinks = append(k.runSinks, s)
+	}
+}
+
+// Tracing reports whether any event sink is active for the current run.
+func (k *Kernel) Tracing() bool { return k.tr != nil }
+
+// Emit records one protocol event. With no sink installed this is a single
+// branch and allocates nothing, so platforms call it unconditionally from
+// event sites.
+func (k *Kernel) Emit(kind trace.Kind, proc int, now, arg, cost uint64) {
+	if k.tr == nil {
+		return
+	}
+	k.tr.Emit(trace.Event{Time: now, Cost: cost, Arg: arg, Proc: int32(proc), Kind: kind})
+}
+
+// sample delivers one breakdown snapshot and advances the sample clock past
+// now.
+func (k *Kernel) sample(now uint64) {
+	k.sampler.Sample(now, k.run.Procs)
+	k.lastSample = now
+	for k.nextSample <= now {
+		k.nextSample += k.sampleEvery
+	}
+}
+
+// recentEvents snapshots the post-mortem ring for error rendering.
+func (k *Kernel) recentEvents() []trace.Event {
+	if k.ring == nil {
+		return nil
+	}
+	return k.ring.Snapshot()
 }
 
 // NumProcs returns the number of simulated processors.
@@ -172,13 +252,29 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 	defer func() { k.running = false }()
 
 	k.run = stats.NewRun(name, k.cfg.NumProcs)
-	k.plat.Attach(k)
+	k.runSinks = k.runSinks[:0]
+	if k.ring != nil {
+		k.ring.Reset()
+	}
+	k.plat.Attach(k) // may install per-run sinks via AddRunSink
+	k.tr = trace.Tee(append([]trace.Sink{k.userSink, ringSink(k.ring)}, k.runSinks...)...)
+	k.sampler = nil
+	if k.sampleEvery > 0 && k.tr != nil {
+		if sp, ok := k.tr.(trace.Sampler); ok {
+			k.sampler = sp
+			k.nextSample = k.sampleEvery
+			k.lastSample = 0
+		}
+	}
 	for i := range k.pendingHandler {
 		k.pendingHandler[i] = 0
 		k.locksHeld[i] = 0
 	}
 	k.locks = map[int]*lockState{}
-	k.bar = barrierState{arrivals: make([]uint64, k.cfg.NumProcs)}
+	k.bar = barrierState{
+		arrivals: make([]uint64, k.cfg.NumProcs),
+		starts:   make([]uint64, k.cfg.NumProcs),
+	}
 
 	k.procs = make([]*Proc, k.cfg.NumProcs)
 	for i := 0; i < k.cfg.NumProcs; i++ {
@@ -207,9 +303,15 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 	for live > 0 {
 		p := k.pickReady()
 		if p == nil {
-			err := &DeadlockError{Dump: k.stateDump()}
+			err := &DeadlockError{Dump: k.stateDump(), Recent: k.recentEvents()}
 			k.unwind()
 			return nil, err
+		}
+		// p's clock is the minimum over ready processors, i.e. the floor of
+		// global virtual time: sample the breakdown when it crosses the
+		// next interval boundary.
+		if k.sampler != nil && p.clock >= k.nextSample {
+			k.sample(p.clock)
 		}
 		k.applyDebt(p)
 		p.state = stRunning
@@ -225,7 +327,7 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 			q.state = stDone
 			live--
 			if q.panicked != nil {
-				err := &ProcPanicError{Proc: q.id, Value: q.panicked, Stack: q.stack}
+				err := &ProcPanicError{Proc: q.id, Value: q.panicked, Stack: q.stack, Recent: k.recentEvents()}
 				k.unwind()
 				return nil, err
 			}
@@ -240,7 +342,21 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 		}
 	}
 	k.run.EndTime = end
+	if k.sampler != nil && end > k.lastSample {
+		// Final sample so time series cover the whole run (skipped when a
+		// regular sample already landed exactly at the end time).
+		k.sampler.Sample(end, k.run.Procs)
+	}
 	return k.run, nil
+}
+
+// ringSink widens the concrete ring to a Sink, keeping the nil case a nil
+// interface so Tee drops it (a nil *Ring in a Sink slot would not be nil).
+func ringSink(r *trace.Ring) trace.Sink {
+	if r == nil {
+		return nil
+	}
+	return r
 }
 
 // unwind releases every not-yet-done processor goroutine after a failed run.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 type opKind int
@@ -165,11 +166,13 @@ func (p *Proc) Lock(id int) {
 	reqCost := k.plat.LockRequest(p.id, p.clock, id)
 	c := p.st()
 	c.Counters.LockAcquires++
+	k.Emit(trace.LockRequest, p.id, start, uint64(id), reqCost)
 	if l.held {
 		l.queue = append(l.queue, &lockWaiter{p: p, reqStart: start, reqReady: start + reqCost})
 		p.park()
 		// grantLock set our clock and charged LockWait before waking us.
 	} else {
+		xfer := l.prevHolder >= 0 && l.prevHolder != p.id
 		granted := start + reqCost
 		if l.freeAt > granted {
 			granted = l.freeAt
@@ -179,6 +182,10 @@ func (p *Proc) Lock(id int) {
 		l.holder = p.id
 		p.clock = granted
 		c.Cycles[stats.LockWait] += granted - start
+		k.Emit(trace.LockGrant, p.id, start, uint64(id), granted-start)
+		if xfer {
+			k.Emit(trace.LockTransfer, p.id, granted, uint64(id), 0)
+		}
 	}
 	k.locksHeld[p.id]++
 	p.checkpoint()
@@ -215,6 +222,7 @@ func (p *Proc) Unlock(id int) {
 // platform's acquire-side consistency actions, charges the waiter's Lock
 // Wait, and makes it ready.
 func (k *Kernel) grantLock(l *lockState, id int, w *lockWaiter) {
+	xfer := l.prevHolder >= 0 && l.prevHolder != w.p.id
 	granted := w.reqReady
 	if l.freeAt > granted {
 		granted = l.freeAt
@@ -224,6 +232,10 @@ func (k *Kernel) grantLock(l *lockState, id int, w *lockWaiter) {
 	l.holder = w.p.id
 	w.p.clock = granted
 	k.run.Procs[w.p.id].Cycles[stats.LockWait] += granted - w.reqStart
+	k.Emit(trace.LockGrant, w.p.id, w.reqStart, uint64(id), granted-w.reqStart)
+	if xfer {
+		k.Emit(trace.LockTransfer, w.p.id, granted, uint64(id), 0)
+	}
 	k.noteReady(w.p)
 }
 
@@ -242,6 +254,7 @@ func (p *Proc) Barrier() {
 	arrived := start + syncCost + handler
 	b := &k.bar
 	b.arrivals[p.id] = arrived
+	b.starts[p.id] = start
 	b.count++
 	if b.count < k.cfg.NumProcs {
 		b.waiting = append(b.waiting, p)
@@ -258,16 +271,19 @@ func (p *Proc) Barrier() {
 		depart := release + k.plat.BarrierDepart(q.id, release)
 		k.run.Procs[q.id].Cycles[stats.BarrierWait] += depart - b.arrivals[q.id]
 		q.clock = depart
+		k.Emit(trace.Barrier, q.id, b.starts[q.id], b.epoch, depart-b.starts[q.id])
 		k.noteReady(q)
 	}
 	depart := release + k.plat.BarrierDepart(p.id, release)
 	c.Cycles[stats.BarrierWait] += depart - arrived
 	p.clock = depart
+	k.Emit(trace.Barrier, p.id, start, b.epoch, depart-start)
 	b.count = 0
 	b.waiting = b.waiting[:0]
 	b.epoch++
 	for i := range b.arrivals {
 		b.arrivals[i] = 0
+		b.starts[i] = 0
 	}
 	p.checkpoint()
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CacheConfig is the Challenge's per-processor hierarchy.
@@ -141,6 +142,7 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 	occ := s.P.BusArb + s.P.BusXfer
 	start := s.bus.Acquire(now, occ)
 	wait := start - now + occ
+	s.k.Emit(trace.BusOccupy, 0, start, la, occ)
 
 	if write {
 		remoteOwner := e.owner >= 0 && int(e.owner) != p
@@ -199,6 +201,7 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		}
 		h.Access(addr, false, fill)
 	}
+	s.k.Emit(trace.BusTxn, p, now, la, cost.Total())
 	return cost
 }
 
@@ -214,6 +217,7 @@ func (s *Platform) LockRequest(p int, now uint64, lock int) uint64 { return 0 }
 // bus transaction, "locks are cheap and are simply locks" (paper §4.2.3).
 func (s *Platform) LockGrant(p int, now uint64, lock int, prev int) uint64 {
 	start := s.bus.Acquire(now, s.P.BusArb)
+	s.k.Emit(trace.BusOccupy, 0, start, uint64(lock), s.P.BusArb)
 	return (start - now) + s.P.LockAcquire
 }
 

@@ -103,3 +103,88 @@ func TestBreakdownTableFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordPhaseAccumulates(t *testing.T) {
+	r := NewRun("x", 2)
+	r.RecordPhase("build", 100)
+	r.RecordPhase("build", 50)
+	r.RecordPhase("force", 10)
+	if r.PhaseTimes["build"] != 150 {
+		t.Errorf("build = %d, want 150 (accumulated)", r.PhaseTimes["build"])
+	}
+	if r.PhaseTimes["force"] != 10 {
+		t.Errorf("force = %d, want 10", r.PhaseTimes["force"])
+	}
+}
+
+func TestRecordPhaseNilMap(t *testing.T) {
+	// A Run built by hand (not NewRun) has no phase map yet.
+	r := &Run{Name: "bare", NumProcs: 1, Procs: make([]Proc, 1)}
+	r.RecordPhase("p", 5)
+	if r.PhaseTimes["p"] != 5 {
+		t.Errorf("RecordPhase on nil map lost the value: %v", r.PhaseTimes)
+	}
+}
+
+func TestShareKnownValues(t *testing.T) {
+	r := NewRun("s", 2)
+	r.Procs[0].Cycles[Compute] = 300
+	r.Procs[1].Cycles[Compute] = 100
+	r.Procs[0].Cycles[DataWait] = 400
+	r.Procs[1].Cycles[BarrierWait] = 200
+	// Total = 1000: Compute 40%, DataWait 40%, Barrier 20%.
+	if got := r.Share(Compute); got != 0.4 {
+		t.Errorf("Share(Compute) = %v, want 0.4", got)
+	}
+	if got := r.Share(DataWait); got != 0.4 {
+		t.Errorf("Share(DataWait) = %v, want 0.4", got)
+	}
+	if got := r.Share(BarrierWait); got != 0.2 {
+		t.Errorf("Share(BarrierWait) = %v, want 0.2", got)
+	}
+	if got := r.Share(LockWait); got != 0 {
+		t.Errorf("Share(LockWait) = %v, want 0", got)
+	}
+}
+
+func TestShareEmptyRunIsZero(t *testing.T) {
+	r := NewRun("empty", 2)
+	if got := r.Share(Compute); got != 0 {
+		t.Errorf("Share on an all-zero run = %v, want 0 (not NaN)", got)
+	}
+}
+
+func TestBreakdownTableSumsAndPhaseOrder(t *testing.T) {
+	r := NewRun("lu/orig on svm", 2)
+	r.EndTime = 500
+	r.Procs[0].Cycles[Compute] = 120
+	r.Procs[1].Cycles[Compute] = 80
+	r.Procs[0].Cycles[Handler] = 30
+	r.RecordPhase("zebra", 7)
+	r.RecordPhase("alpha", 3)
+	tbl := r.BreakdownTable()
+	// The sum row reports per-category totals across processors.
+	sumLine := ""
+	for _, line := range strings.Split(tbl, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "sum") {
+			sumLine = line
+		}
+	}
+	if sumLine == "" {
+		t.Fatalf("no sum row in table:\n%s", tbl)
+	}
+	if !strings.Contains(sumLine, "200") || !strings.Contains(sumLine, "230") {
+		t.Errorf("sum row missing category total 200 or grand total 230: %q", sumLine)
+	}
+	// Phase rows render sorted by name for deterministic output.
+	ia, iz := strings.Index(tbl, "alpha"), strings.Index(tbl, "zebra")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Errorf("phases not sorted by name (alpha@%d zebra@%d):\n%s", ia, iz, tbl)
+	}
+	// Table renders every processor row and one column per category.
+	for _, want := range []string{"proc", "Compute", "DataWait", "Total", "end=500"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

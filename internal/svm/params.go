@@ -43,9 +43,9 @@ type Params struct {
 	HomeService uint64 // page lookup + reply preparation at the home
 
 	// Synchronization.
-	LockMgrService  uint64 // lock manager processing per request
-	BarrierPerProc  uint64 // manager processing per arrival (notice merge)
-	BarrierBcast    uint64 // release broadcast cost
+	LockMgrService uint64 // lock manager processing per request
+	BarrierPerProc uint64 // manager processing per arrival (notice merge)
+	BarrierBcast   uint64 // release broadcast cost
 }
 
 // DefaultParams returns the paper-calibrated cost model.
@@ -66,7 +66,7 @@ func DefaultParams() Params {
 
 		MsgSend:    1000, // ~5 µs software messaging each side
 		MsgRecv:    1000,
-		NetLatency: 200, // ~1 µs wire
+		NetLatency: 200,  // ~1 µs wire
 		PageXfer:   8192, // 4 KB over the 100 MB/s I/O bus
 		DiffXfer:   1024,
 

@@ -2,16 +2,19 @@ package svm
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // This file implements the performance-debugging facility the paper wishes
 // real SVM systems had (§6): "the detailed simulator served as an excellent
 // though slow performance debugging tool ... Incorporating the ability to
 // deliver such information in real SVM systems would be very useful." The
-// platform keeps per-page fault and per-lock transfer counts so a user can
-// see WHERE the page-grained traffic comes from, not just how much there is.
+// per-page and per-lock counts come from a trace.Counting sink the platform
+// installs into the kernel for each run (see Attach), so the same protocol
+// event stream that feeds -trace also answers WHERE the page-grained traffic
+// comes from, not just how much there is.
 
 // PageProfile summarizes the traffic to one page over a run.
 type PageProfile struct {
@@ -30,91 +33,31 @@ type LockProfile struct {
 	Transfers uint64 // acquisitions by a different node than the releaser
 }
 
-// profiler accumulates per-page and per-lock counts during a run.
-type profiler struct {
-	pageFetch map[pageID][]uint64 // page -> per-proc fetch counts
-	pageDiff  map[pageID]uint64
-	pageDirty map[pageID]uint64 // bitmask of writer nodes
-	lockAcq   map[int]uint64
-	lockXfer  map[int]uint64
-}
-
-func newProfiler() *profiler {
-	return &profiler{
-		pageFetch: map[pageID][]uint64{},
-		pageDiff:  map[pageID]uint64{},
-		pageDirty: map[pageID]uint64{},
-		lockAcq:   map[int]uint64{},
-		lockXfer:  map[int]uint64{},
-	}
-}
-
 // EnableProfiling turns on per-page/per-lock accounting for subsequent runs
 // (small host-side cost, no effect on simulated timing).
-func (s *Platform) EnableProfiling() { s.prof = newProfiler() }
+func (s *Platform) EnableProfiling() { s.profOn = true }
 
-func (s *Platform) profFetch(p int, pg pageID) {
-	if s.prof == nil {
-		return
-	}
-	v := s.prof.pageFetch[pg]
-	if v == nil {
-		v = make([]uint64, s.np)
-		s.prof.pageFetch[pg] = v
-	}
-	v[p]++
-}
-
-func (s *Platform) profDirty(p int, pg pageID) {
-	if s.prof == nil {
-		return
-	}
-	s.prof.pageDirty[pg] |= 1 << uint(p)
-}
-
-func (s *Platform) profDiff(pg pageID) {
-	if s.prof == nil {
-		return
-	}
-	s.prof.pageDiff[pg]++
-}
-
-func (s *Platform) profLock(lock int, xfer bool) {
-	if s.prof == nil {
-		return
-	}
-	s.prof.lockAcq[lock]++
-	if xfer {
-		s.prof.lockXfer[lock]++
-	}
-}
+// Counting exposes the run's aggregating trace sink, nil unless
+// EnableProfiling was called before the run.
+func (s *Platform) Counting() *trace.Counting { return s.counting }
 
 // HotPages returns the n most-fetched pages, most-traffic first.
 func (s *Platform) HotPages(n int) []PageProfile {
-	if s.prof == nil {
+	if s.counting == nil {
 		return nil
 	}
-	out := make([]PageProfile, 0, len(s.prof.pageFetch))
-	for pg, per := range s.prof.pageFetch {
-		pp := PageProfile{Page: pg, Home: s.as.Home(pg * s.P.PageSize)}
-		for _, c := range per {
-			pp.Fetches += c
-			if c > pp.MaxProcF {
-				pp.MaxProcF = c
-			}
-		}
-		pp.Diffs = s.prof.pageDiff[pg]
-		for m := s.prof.pageDirty[pg]; m != 0; m &= m - 1 {
-			pp.Writers++
-		}
-		out = append(out, pp)
+	totals := s.counting.PageTotals()
+	out := make([]PageProfile, 0, len(totals))
+	for _, t := range totals {
+		out = append(out, PageProfile{
+			Page:     t.Page,
+			Home:     s.as.Home(t.Page * s.P.PageSize),
+			Fetches:  t.Fetches,
+			Diffs:    t.Diffs,
+			Writers:  t.Writers,
+			MaxProcF: t.MaxProc,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Fetches != out[j].Fetches {
-			return out[i].Fetches > out[j].Fetches
-		}
-		return out[i].Page < out[j].Page
-	})
 	if n > 0 && len(out) > n {
 		out = out[:n]
 	}
@@ -123,19 +66,14 @@ func (s *Platform) HotPages(n int) []PageProfile {
 
 // HotLocks returns the n most-acquired locks, busiest first.
 func (s *Platform) HotLocks(n int) []LockProfile {
-	if s.prof == nil {
+	if s.counting == nil {
 		return nil
 	}
-	out := make([]LockProfile, 0, len(s.prof.lockAcq))
-	for l, a := range s.prof.lockAcq {
-		out = append(out, LockProfile{Lock: l, Acquires: a, Transfers: s.prof.lockXfer[l]})
+	totals := s.counting.LockTotals()
+	out := make([]LockProfile, 0, len(totals))
+	for _, t := range totals {
+		out = append(out, LockProfile{Lock: t.Lock, Acquires: t.Acquires, Transfers: t.Transfers})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Acquires != out[j].Acquires {
-			return out[i].Acquires > out[j].Acquires
-		}
-		return out[i].Lock < out[j].Lock
-	})
 	if n > 0 && len(out) > n {
 		out = out[:n]
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func TestProfilerHotPagesAndLocks(t *testing.T) {
@@ -104,5 +105,88 @@ func TestProfilerResetsBetweenRuns(t *testing.T) {
 	k.Run("b", body)
 	if got := plat.HotPages(1)[0].Fetches; got != first {
 		t.Errorf("profile not reset: %d fetches after second run, want %d", got, first)
+	}
+}
+
+// TestCountingMatchesAggregateCounters pins the acceptance criterion that the
+// counting sink reproduces the run's counter totals exactly: the profile and
+// the -hot report are derived from the same protocol event stream the
+// platform already accounts in stats.Counters.
+func TestCountingMatchesAggregateCounters(t *testing.T) {
+	as := mem.NewAddressSpace(4096, 4)
+	data := as.AllocPages(16 * 4096)
+	as.DistributeBlocked(data, 16*4096)
+	plat := New(as, DefaultParams(), 4)
+	plat.EnableProfiling()
+	k := sim.New(plat, sim.Config{NumProcs: 4})
+	run := k.Run("match", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Lock(1)
+			p.WriteRange(data+uint64(i*4096), 256)
+			p.Unlock(1)
+			p.Barrier()
+		}
+	})
+
+	c := plat.Counting()
+	if c == nil {
+		t.Fatal("no counting sink with profiling enabled")
+	}
+	agg := run.AggregateCounters()
+	if got := c.Count(trace.PageFetch); got != agg.PageFetches {
+		t.Errorf("PageFetch events = %d, counters say %d", got, agg.PageFetches)
+	}
+	if got := c.Count(trace.TwinCreate); got != agg.TwinsMade {
+		t.Errorf("TwinCreate events = %d, counters say %d", got, agg.TwinsMade)
+	}
+	if got := c.Count(trace.DiffCreate); got != agg.DiffsCreated {
+		t.Errorf("DiffCreate events = %d, counters say %d", got, agg.DiffsCreated)
+	}
+	if got := c.Count(trace.DiffApply); got != agg.DiffsApplied {
+		t.Errorf("DiffApply events = %d, counters say %d", got, agg.DiffsApplied)
+	}
+	if got := c.Count(trace.Invalidate); got != agg.Invalidations {
+		t.Errorf("Invalidate events = %d, counters say %d", got, agg.Invalidations)
+	}
+	if got := c.Count(trace.PageFault); got != agg.PageFaults {
+		t.Errorf("PageFault events = %d, counters say %d", got, agg.PageFaults)
+	}
+	if got := c.Count(trace.LockGrant); got != agg.LockAcquires {
+		t.Errorf("LockGrant events = %d, counters say %d", got, agg.LockAcquires)
+	}
+
+	// Per-page fetch totals must also sum to the counter.
+	var sum uint64
+	for _, pp := range plat.HotPages(0) {
+		sum += pp.Fetches
+	}
+	if sum != agg.PageFetches {
+		t.Errorf("per-page fetches sum to %d, counters say %d", sum, agg.PageFetches)
+	}
+}
+
+// TestProfileReportDeterministic pins -hot output ordering: two identical
+// runs must render byte-identical reports (sort keys break all ties).
+func TestProfileReportDeterministic(t *testing.T) {
+	render := func() string {
+		as := mem.NewAddressSpace(4096, 4)
+		data := as.AllocPages(32 * 4096)
+		as.DistributeBlocked(data, 32*4096)
+		plat := New(as, DefaultParams(), 4)
+		plat.EnableProfiling()
+		k := sim.New(plat, sim.Config{NumProcs: 4})
+		k.Run("det", func(p *sim.Proc) {
+			for i := 0; i < 8; i++ {
+				p.Lock(i % 3)
+				p.WriteRange(data+uint64(((p.ID()+i)%32)*4096), 512)
+				p.Unlock(i % 3)
+				p.Barrier()
+			}
+		})
+		return plat.ProfileReport(10)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("profile report not deterministic:\n--- first ---\n%s--- second ---\n%s", a, b)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CacheConfig is the paper's SVM node cache hierarchy.
@@ -43,9 +44,12 @@ type Platform struct {
 	// lock id, transferred to the next acquirer.
 	lockVC map[int][]uint32
 
-	// prof, when non-nil, accumulates per-page and per-lock traffic (the
-	// paper's wished-for SVM performance tool; see profile.go).
-	prof *profiler
+	// profOn enables the hot-page/hot-lock profile (the paper's wished-for
+	// SVM performance tool; see profile.go). When set, Attach installs a
+	// per-run trace.Counting sink into the kernel and HotPages/HotLocks
+	// render from it.
+	profOn   bool
+	counting *trace.Counting
 }
 
 // New creates an SVM platform over the given address space for np nodes.
@@ -79,8 +83,9 @@ func (s *Platform) Attach(k *sim.Kernel) {
 		s.writeLog[i] = [][]pageID{nil} // interval 0
 	}
 	s.lockVC = map[int][]uint32{}
-	if s.prof != nil {
-		s.prof = newProfiler()
+	if s.profOn {
+		s.counting = trace.NewCounting(s.np)
+		k.AddRunSink(s.counting)
 	}
 	// Home copies are valid at their homes from the start (untimed
 	// initialization, as in the paper).
@@ -148,6 +153,7 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 	if !n.valid[pg] {
 		// Remote page fault: fetch the whole page from the home.
 		c.PageFaults++
+		s.k.Emit(trace.PageFault, p, now, pg, 0)
 		home := s.as.Home(addr)
 		if home == p {
 			// Home lost validity? Homes never invalidate their own
@@ -156,7 +162,6 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			n.valid[pg] = true
 		} else {
 			c.PageFetches++
-			s.profFetch(p, pg)
 			hc := s.k.Counters(home)
 			hc.PagesServed++
 			reqArrive := now + s.P.FaultOverhead + s.P.MsgSend + s.P.NetLatency
@@ -167,6 +172,8 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			// faulting processor can be resumed.
 			done := start + service + s.P.NetLatency + s.P.PageXfer + s.P.MsgRecv
 			cost.DataWait += done - now
+			s.k.Emit(trace.PageFetch, p, now, pg, done-now)
+			s.k.Emit(trace.NICOccupy, home, start, pg, service)
 			n.valid[pg] = true
 			n.dirty[pg] = false
 			// The page contents changed under the caches.
@@ -180,13 +187,14 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		// no coherence to maintain, so pages are never write-protected
 		// (the paper's sequential baseline is plain execution).
 		cost.Handler += s.P.WriteTrap
+		s.k.Emit(trace.WriteTrap, p, now, pg, s.P.WriteTrap)
 		if s.as.Home(addr) != p {
 			cost.Handler += s.P.TwinCost
 			c.TwinsMade++
+			s.k.Emit(trace.TwinCreate, p, now, pg, s.P.TwinCost)
 		}
 		n.dirty[pg] = true
 		n.dirtyLst = append(n.dirtyLst, pg)
-		s.profDirty(p, pg)
 	}
 
 	lvl, _ := n.cache.Access(addr, write, cache.Exclusive)
@@ -211,16 +219,19 @@ func (s *Platform) flush(p int, now uint64) (handler uint64) {
 			n.dirty[pg] = false
 			home := s.as.Home(pg * s.P.PageSize)
 			handler += s.P.NoticeCost
+			s.k.Emit(trace.WriteNotice, p, now+handler, pg, s.P.NoticeCost)
 			if home != p {
 				// Diff against the twin, ship to home, home applies.
-				s.profDiff(pg)
 				c.DiffsCreated++
 				handler += s.P.DiffCreate + s.P.MsgSend
+				s.k.Emit(trace.DiffCreate, p, now+handler, pg, s.P.DiffCreate)
 				hc := s.k.Counters(home)
 				hc.DiffsApplied++
 				service := s.P.MsgRecv + s.P.DiffXfer + s.P.DiffApply
-				s.nodes[home].nic.Acquire(now+handler+s.P.NetLatency, service)
+				start := s.nodes[home].nic.Acquire(now+handler+s.P.NetLatency, service)
 				s.k.ChargeHandler(home, service)
+				s.k.Emit(trace.DiffApply, home, start, pg, service)
+				s.k.Emit(trace.NICOccupy, home, start, pg, service)
 				// The applied diff changes the home copy under
 				// the home's caches.
 				s.nodes[home].cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
@@ -238,8 +249,9 @@ func (s *Platform) flush(p int, now uint64) (handler uint64) {
 
 // invalidateUpTo advances node p's knowledge of q to interval upTo,
 // invalidating p's copies of every page q flushed in the newly covered
-// intervals. Returns the number of pages actually invalidated.
-func (s *Platform) invalidateUpTo(p, q int, upTo uint32) int {
+// intervals (the Invalidate trace events land at virtual time now). Returns
+// the number of pages actually invalidated.
+func (s *Platform) invalidateUpTo(p, q int, upTo uint32, now uint64) int {
 	if p == q {
 		return 0
 	}
@@ -260,6 +272,7 @@ func (s *Platform) invalidateUpTo(p, q int, upTo uint32) int {
 				n.valid[pg] = false
 				n.dirty[pg] = false
 				inv++
+				s.k.Emit(trace.Invalidate, p, now, pg, s.P.InvalCost)
 			}
 		}
 	}
@@ -282,7 +295,6 @@ func (s *Platform) LockRequest(p int, now uint64, lock int) uint64 {
 // releaser's vector clock; the acquirer applies the corresponding write
 // notices (lazy invalidation).
 func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64 {
-	s.profLock(lock, prevHolder >= 0 && prevHolder != p)
 	cost := s.P.NetLatency + s.P.MsgRecv // grant message
 	if prevHolder >= 0 && prevHolder != p {
 		cost += s.P.MsgSend + s.P.NetLatency + s.P.MsgRecv // manager->holder hop
@@ -290,7 +302,7 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 	if rvc, ok := s.lockVC[lock]; ok {
 		inv := 0
 		for q := 0; q < s.np; q++ {
-			inv += s.invalidateUpTo(p, q, rvc[q])
+			inv += s.invalidateUpTo(p, q, rvc[q], now)
 		}
 		cost += uint64(inv) * s.P.InvalCost
 		s.k.Counters(p).Invalidations += uint64(inv)
@@ -340,7 +352,7 @@ func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
 		if q == p {
 			continue
 		}
-		inv += s.invalidateUpTo(p, q, s.nodes[q].vc[q])
+		inv += s.invalidateUpTo(p, q, s.nodes[q].vc[q], releaseTime)
 	}
 	s.k.Counters(p).Invalidations += uint64(inv)
 	return s.P.MsgRecv + uint64(inv)*s.P.InvalCost

@@ -71,8 +71,8 @@ func TestFirstWriteMakesTwin(t *testing.T) {
 	as.SetHome(a, 4096, 0)
 	run := k.Run("twin", func(p *sim.Proc) {
 		if p.ID() == 1 {
-			p.Read(a)     // fetch page
-			p.Write(a)    // first write: trap + twin
+			p.Read(a)      // fetch page
+			p.Write(a)     // first write: trap + twin
 			p.Write(a + 8) // already dirty: no more protocol work
 		}
 		p.Barrier()
@@ -131,7 +131,7 @@ func TestDiffFlushedToHomeAtRelease(t *testing.T) {
 	run := k.Run("diff", func(p *sim.Proc) {
 		if p.ID() == 1 {
 			p.Lock(1)
-			p.Write(a) // fetch + twin + dirty
+			p.Write(a)  // fetch + twin + dirty
 			p.Unlock(1) // diff created, sent to home
 		}
 		p.Barrier()

@@ -18,6 +18,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/svm"
+	"repro/internal/trace"
 )
 
 // DefaultClusterSize is the paper's envisioned PC-SMP node size.
@@ -206,6 +207,7 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 
 	if !c.valid[pg] {
 		cnt.PageFaults++
+		s.k.Emit(trace.PageFault, p, now, pg, 0)
 		hc := s.homeCluster(addr)
 		if hc == cid {
 			c.valid[pg] = true
@@ -217,9 +219,11 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 			start := s.cl[hc].nic.Acquire(reqArrive, service)
 			// The handler runs on the home cluster's first processor.
 			s.k.ChargeHandler(hc*s.P.ClusterSize, service)
-			s.k.Counters(hc * s.P.ClusterSize).PagesServed++
+			s.k.Counters(hc*s.P.ClusterSize).PagesServed++
 			done := start + service + P.NetLatency + P.PageXfer + P.MsgRecv
 			cost.DataWait += done - now
+			s.k.Emit(trace.PageFetch, p, now, pg, done-now)
+			s.k.Emit(trace.NICOccupy, hc, start, pg, service)
 			c.valid[pg] = true
 			c.dirty[pg] = false
 			// Every cluster member's cached lines of the page are stale.
@@ -237,9 +241,11 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		// One write trap + twin per CLUSTER per interval — the
 		// two-level hierarchy's big saving over plain SVM.
 		cost.Handler += s.P.SVM.WriteTrap
+		s.k.Emit(trace.WriteTrap, p, now, pg, s.P.SVM.WriteTrap)
 		if s.homeCluster(addr) != cid {
 			cost.Handler += s.P.SVM.TwinCost
 			cnt.TwinsMade++
+			s.k.Emit(trace.TwinCreate, p, now, pg, s.P.SVM.TwinCost)
 		}
 		c.dirty[pg] = true
 		c.dirtyLst = append(c.dirtyLst, pg)
@@ -254,6 +260,7 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 	start := c.bus.Acquire(now, occ)
 	wait := start - now + occ
 	cnt.BusTransactions++
+	s.k.Emit(trace.BusOccupy, cid, start, la, occ)
 	if write {
 		if e.owner >= 0 && int(e.owner) != local {
 			s.caches[cid*s.P.ClusterSize+int(e.owner)].SetState(addr, cache.Invalid)
@@ -304,12 +311,16 @@ func (s *Platform) flush(p int, now uint64) (handler uint64) {
 			c.dirty[pg] = false
 			hc := s.homeCluster(pg * P.PageSize)
 			handler += P.NoticeCost
+			s.k.Emit(trace.WriteNotice, p, now+handler, pg, P.NoticeCost)
 			if hc != cid {
 				cnt.DiffsCreated++
 				handler += P.DiffCreate + P.MsgSend
+				s.k.Emit(trace.DiffCreate, p, now+handler, pg, P.DiffCreate)
 				service := P.MsgRecv + P.DiffXfer + P.DiffApply
-				s.cl[hc].nic.Acquire(now+handler+P.NetLatency, service)
+				start := s.cl[hc].nic.Acquire(now+handler+P.NetLatency, service)
 				s.k.ChargeHandler(hc*s.P.ClusterSize, service)
+				s.k.Emit(trace.DiffApply, hc*s.P.ClusterSize, start, pg, service)
+				s.k.Emit(trace.NICOccupy, hc, start, pg, service)
 				// The applied diff changes the home copy under the
 				// home cluster's caches.
 				base := pg * P.PageSize
@@ -328,7 +339,10 @@ func (s *Platform) flush(p int, now uint64) (handler uint64) {
 	return handler
 }
 
-func (s *Platform) invalidateUpTo(cid, q int, upTo uint32) int {
+// invalidateUpTo advances cluster cid's knowledge of cluster q to interval
+// upTo; p and now identify the acquiring processor and virtual time for the
+// Invalidate trace events.
+func (s *Platform) invalidateUpTo(cid, q int, upTo uint32, p int, now uint64) int {
 	if cid == q {
 		return 0
 	}
@@ -347,6 +361,7 @@ func (s *Platform) invalidateUpTo(cid, q int, upTo uint32) int {
 				c.valid[pg] = false
 				c.dirty[pg] = false
 				inv++
+				s.k.Emit(trace.Invalidate, p, now, pg, s.P.SVM.InvalCost)
 			}
 		}
 	}
@@ -383,7 +398,7 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 	if rvc, ok := s.lockVC[lock]; ok {
 		inv := 0
 		for q := 0; q < s.nc; q++ {
-			inv += s.invalidateUpTo(cid, q, rvc[q])
+			inv += s.invalidateUpTo(cid, q, rvc[q], p, now)
 		}
 		cost += uint64(inv) * s.P.SVM.InvalCost
 		s.k.Counters(p).Invalidations += uint64(inv)
@@ -432,7 +447,7 @@ func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
 		if q == cid {
 			continue
 		}
-		inv += s.invalidateUpTo(cid, q, s.cl[q].vc[q])
+		inv += s.invalidateUpTo(cid, q, s.cl[q].vc[q], p, releaseTime)
 	}
 	s.k.Counters(p).Invalidations += uint64(inv)
 	return s.P.Bus.BarrierLeaf/3 + uint64(inv)*s.P.SVM.InvalCost

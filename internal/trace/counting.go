@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counting aggregates the event stream into per-kind, per-page and per-lock
+// totals. It is the trace-backed successor of the svm package's original
+// hot-page profiler: the svm platform installs one per run when profiling is
+// enabled and renders HotPages/HotLocks from it, and any caller can install
+// their own to get the same totals for any platform.
+type Counting struct {
+	np        int
+	kindCount [NumKinds]uint64
+	kindCost  [NumKinds]uint64
+
+	pageFetch   map[uint64][]uint64 // page -> per-proc fetch counts
+	pageDiff    map[uint64]uint64   // page -> diffs created against its home copy
+	pageWriters map[uint64]uint64   // page -> bitmask of writer procs
+	lockAcq     map[uint64]uint64   // lock -> grants
+	lockXfer    map[uint64]uint64   // lock -> grants from a different holder
+}
+
+// NewCounting creates a counting sink for np processors.
+func NewCounting(np int) *Counting {
+	return &Counting{
+		np:          np,
+		pageFetch:   map[uint64][]uint64{},
+		pageDiff:    map[uint64]uint64{},
+		pageWriters: map[uint64]uint64{},
+		lockAcq:     map[uint64]uint64{},
+		lockXfer:    map[uint64]uint64{},
+	}
+}
+
+// Emit implements Sink.
+func (c *Counting) Emit(e Event) {
+	if e.Kind >= NumKinds {
+		return
+	}
+	c.kindCount[e.Kind]++
+	c.kindCost[e.Kind] += e.Cost
+	switch e.Kind {
+	case PageFetch:
+		v := c.pageFetch[e.Arg]
+		if v == nil {
+			v = make([]uint64, c.np)
+			c.pageFetch[e.Arg] = v
+		}
+		if int(e.Proc) >= 0 && int(e.Proc) < len(v) {
+			v[e.Proc]++
+		}
+	case DiffCreate:
+		c.pageDiff[e.Arg]++
+	case WriteTrap:
+		if e.Proc >= 0 && e.Proc < 64 {
+			c.pageWriters[e.Arg] |= 1 << uint(e.Proc)
+		}
+	case LockGrant:
+		c.lockAcq[e.Arg]++
+	case LockTransfer:
+		c.lockXfer[e.Arg]++
+	}
+}
+
+// Count returns how many events of kind k were emitted.
+func (c *Counting) Count(k Kind) uint64 {
+	if k >= NumKinds {
+		return 0
+	}
+	return c.kindCount[k]
+}
+
+// Cost returns the total Cost cycles over all events of kind k.
+func (c *Counting) Cost(k Kind) uint64 {
+	if k >= NumKinds {
+		return 0
+	}
+	return c.kindCost[k]
+}
+
+// PageTotals summarizes the traffic to one page over a run.
+type PageTotals struct {
+	Page    uint64
+	Fetches uint64 // remote fetches of this page, all processors
+	Diffs   uint64 // diffs created against its home copy
+	Writers int    // distinct processors that dirtied it
+	MaxProc uint64 // largest per-processor fetch count (imbalance hint)
+}
+
+// LockTotals summarizes the traffic to one lock over a run.
+type LockTotals struct {
+	Lock      int
+	Acquires  uint64
+	Transfers uint64 // acquisitions by a different processor than the releaser
+}
+
+// PageTotals returns every fetched page's totals, most-fetched first (ties
+// by page number, so the order is deterministic).
+func (c *Counting) PageTotals() []PageTotals {
+	out := make([]PageTotals, 0, len(c.pageFetch))
+	for pg, per := range c.pageFetch {
+		pt := PageTotals{Page: pg, Diffs: c.pageDiff[pg], Writers: bits.OnesCount64(c.pageWriters[pg])}
+		for _, n := range per {
+			pt.Fetches += n
+			if n > pt.MaxProc {
+				pt.MaxProc = n
+			}
+		}
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fetches != out[j].Fetches {
+			return out[i].Fetches > out[j].Fetches
+		}
+		return out[i].Page < out[j].Page
+	})
+	return out
+}
+
+// LockTotals returns every acquired lock's totals, busiest first (ties by
+// lock id, so the order is deterministic).
+func (c *Counting) LockTotals() []LockTotals {
+	out := make([]LockTotals, 0, len(c.lockAcq))
+	for l, a := range c.lockAcq {
+		out = append(out, LockTotals{Lock: int(l), Acquires: a, Transfers: c.lockXfer[l]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Acquires != out[j].Acquires {
+			return out[i].Acquires > out[j].Acquires
+		}
+		return out[i].Lock < out[j].Lock
+	})
+	return out
+}
+
+var _ Sink = (*Counting)(nil)
