@@ -38,9 +38,11 @@ func main() {
 	np := flag.Int("p", 16, "number of simulated processors")
 	scale := flag.Float64("scale", 1, "problem-size multiplier on top of per-app base scales")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations pre-executing the experiment matrix (1 = serial)")
+	check := flag.Bool("check", false, "enable runtime invariant checking on every cell")
 	flag.Parse()
 
 	r := harness.NewRunner(*np, *scale)
+	r.Check = *check
 
 	var figs []harness.Figure
 	var cells []harness.Cell

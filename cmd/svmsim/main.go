@@ -36,6 +36,7 @@ func main() {
 	traceBuf := flag.Int("trace-buffer", 0, "keep the last N protocol events for post-mortem dumps on simulation errors")
 	sample := flag.Uint64("sample", 0, "sample the breakdown every N cycles into the trace (default 100000 with -trace)")
 	jsonOut := flag.Bool("json", false, "print the result as machine-readable JSON instead of tables")
+	check := flag.Bool("check", false, "enable runtime invariant checking (scheduler, protocol state, accounting)")
 	flag.Parse()
 
 	if *list {
@@ -52,7 +53,7 @@ func main() {
 	spec := harness.Spec{
 		App: *app, Version: *version, Platform: *plat,
 		NumProcs: *np, Scale: *scale, FreeCSFaults: *freecs,
-		TraceRing: *traceBuf,
+		TraceRing: *traceBuf, Check: *check,
 	}
 	var chrome *trace.Chrome
 	if *traceOut != "" {
@@ -86,6 +87,13 @@ func main() {
 		}
 	}
 	if err != nil {
+		if *jsonOut {
+			// Failed cells still produce parseable output: a structured
+			// error object on stdout, alongside the stderr message.
+			if out, jerr := harness.RunErrorJSON(spec, err); jerr == nil {
+				fmt.Printf("%s\n", out)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "svmsim:", err)
 		os.Exit(1)
 	}

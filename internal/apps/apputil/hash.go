@@ -1,0 +1,43 @@
+package apputil
+
+import "math"
+
+// Hash accumulates a 64-bit FNV-1a fingerprint of computed results. The
+// applications hash exactly the data their Verify methods inspect; the
+// determinism harness then compares the hashes across runs, platforms and
+// processor counts without holding both results in memory.
+type Hash struct{ h uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewHash returns a fresh accumulator.
+func NewHash() *Hash { return &Hash{h: fnvOffset} }
+
+// Uint64 mixes one 64-bit value, byte by byte (FNV-1a).
+func (f *Hash) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h ^= v & 0xff
+		f.h *= fnvPrime
+		v >>= 8
+	}
+}
+
+// Uint32 mixes one 32-bit value.
+func (f *Hash) Uint32(v uint32) { f.Uint64(uint64(v)) }
+
+// Float64 mixes a float's exact bit pattern — fingerprints compare results
+// bit-for-bit, not within a tolerance.
+func (f *Hash) Float64(v float64) { f.Uint64(math.Float64bits(v)) }
+
+// Floats mixes a whole slice in order.
+func (f *Hash) Floats(vs []float64) {
+	for _, v := range vs {
+		f.Float64(v)
+	}
+}
+
+// Sum returns the accumulated fingerprint.
+func (f *Hash) Sum() uint64 { return f.h }

@@ -109,7 +109,7 @@ func (t *tree) insert(idx int32, bodies []body, bi int32, owner int, v insertVis
 				v.modify(idx)
 			}
 			if len(c.bodies) < leafCap {
-				c.bodies = append(c.bodies, bi)
+				c.bodies = insertSorted(c.bodies, bi)
 				bodies[bi].leaf = idx
 				return idx
 			}
@@ -141,6 +141,23 @@ func (t *tree) insert(idx int32, bodies []body, bi int32, owner int, v insertVis
 		}
 		idx = ch
 	}
+}
+
+// insertSorted adds bi to a leaf's body list keeping it sorted by index.
+// Which bodies land in a leaf is canonical (pure geometry), but the order
+// processors reach it depends on the simulated interleaving — and the
+// floating-point folds in computeCOM and force walk this list in order, so
+// an interleaving-dependent order would make results differ across
+// processor counts, versions and platforms that agree on the physics.
+func insertSorted(bs []int32, bi int32) []int32 {
+	i := len(bs)
+	bs = append(bs, bi)
+	for i > 0 && bs[i-1] > bi {
+		bs[i] = bs[i-1]
+		i--
+	}
+	bs[i] = bi
+	return bs
 }
 
 // placeInChild pushes body ob one level down from internal node idx during a
@@ -263,12 +280,14 @@ func directForce(bodies []body, bi int) [3]float64 {
 	return acc
 }
 
-// remove deletes body bi from leaf lf (Update-Tree).
+// remove deletes body bi from leaf lf (Update-Tree), preserving the sorted
+// order insertSorted maintains (a swap-with-last would reintroduce an
+// interleaving-dependent order).
 func (t *tree) remove(lf int32, bi int32) {
 	bs := t.nodes[lf].bodies
 	for i, b := range bs {
 		if b == bi {
-			bs[i] = bs[len(bs)-1]
+			copy(bs[i:], bs[i+1:])
 			t.nodes[lf].bodies = bs[:len(bs)-1]
 			return
 		}

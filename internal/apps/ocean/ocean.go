@@ -58,6 +58,10 @@ type instance struct {
 	blockW int // 4-d block width, 0 for 2-d layouts
 	errAdr uint64
 	errSum float64
+	// errParts[id] is processor id's convergence contribution for the
+	// current iteration; proc 0 folds them in id order so errSum does not
+	// depend on the simulated lock-grant order (floats don't associate).
+	errParts []float64
 }
 
 // Build implements core.App.
@@ -128,6 +132,7 @@ func (app) Build(version string, scale float64, as *mem.AddressSpace, np int) (c
 	}
 
 	in.errAdr = as.Alloc(8)
+	in.errParts = make([]float64, np)
 
 	// Initial condition: a smooth bump plus deterministic noise.
 	in.a = make([]float64, n*n)
@@ -256,16 +261,28 @@ func (in *instance) Body(p *sim.Proc) {
 			}
 			p.Compute(uint64(7 * (jhi - jlo)))
 		}
-		// Global convergence accumulation under a lock, as in Ocean.
+		// Global convergence accumulation under a lock, as in Ocean. The
+		// simulated traffic stays the shared-word read-modify-write, but
+		// the host-side value is deposited per processor and folded in id
+		// order by proc 0 after the barrier: summing here in lock-grant
+		// order made errSum interleaving-dependent (floats don't
+		// associate), and the old "proc 0 resets at t=0" under the lock
+		// discarded whichever t=0 contributions were deposited before
+		// proc 0 happened to get the lock.
 		p.Lock(1)
 		p.Read(in.errAdr)
-		if id == 0 && t == 0 {
-			in.errSum = 0
-		}
-		in.errSum += localErr
+		in.errParts[id] = localErr
 		p.Write(in.errAdr)
 		p.Unlock(1)
 		p.Barrier()
+		if id == 0 {
+			if t == 0 {
+				in.errSum = 0
+			}
+			for _, e := range in.errParts {
+				in.errSum += e
+			}
+		}
 		src, dst = dst, src
 		lsrc, ldst = ldst, lsrc
 		p.Barrier()

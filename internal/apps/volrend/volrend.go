@@ -159,12 +159,15 @@ func (app) Build(version string, scale float64, as *mem.AddressSpace, np int) (c
 			}
 		}
 	} else {
-		// Contiguous blocks of tiles, one per processor.
+		// Contiguous blocks of tiles, one per processor. Block boundaries
+		// are ceil-split (pi*nt/pr) so remainder tile rows/columns are
+		// still assigned when the processor grid does not divide the tile
+		// grid; with divisible dimensions this is the same blocked
+		// partition as before.
 		for id := 0; id < np; id++ {
 			pi, pj := id/pc, id%pc
-			bh, bw := nt/pr, nt/pc
-			for ty := pi * bh; ty < (pi+1)*bh; ty++ {
-				for tx := pj * bw; tx < (pj+1)*bw; tx++ {
+			for ty := pi * nt / pr; ty < (pi+1)*nt/pr; ty++ {
+				for tx := pj * nt / pc; tx < (pj+1)*nt/pc; tx++ {
 					assign[id] = append(assign[id], ty*nt+tx)
 				}
 			}

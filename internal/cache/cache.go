@@ -274,6 +274,40 @@ func (h *Hierarchy) InvalidateRange(addr uint64, n int) {
 	}
 }
 
+// LinesL2 calls f for every valid line resident in L2, in set/way order
+// (deterministic). Platform invariant checkers use it to cross-check cache
+// contents against directory or bus sharer state.
+func (h *Hierarchy) LinesL2(f func(lineAddr uint64, st State)) {
+	for i := range h.l2.sets {
+		s := &h.l2.sets[i]
+		for w := range s.state {
+			if s.state[w] != Invalid {
+				f(s.tags[w], s.state[w])
+			}
+		}
+	}
+}
+
+// CheckInclusion verifies the multilevel inclusion property: every valid L1
+// line must also be present in L2. Access maintains this by back-invalidating
+// L1 on L2 eviction; a violation means a protocol path mutated one level
+// without the other.
+func (h *Hierarchy) CheckInclusion() error {
+	for i := range h.l1.sets {
+		s := &h.l1.sets[i]
+		for w := range s.state {
+			if s.state[w] == Invalid {
+				continue
+			}
+			if _, _, ok := h.l2.lookup(s.tags[w]); !ok {
+				return fmt.Errorf("cache: L1 line %#x (state %s) not present in L2 (inclusion violated)",
+					s.tags[w], s.state[w])
+			}
+		}
+	}
+	return nil
+}
+
 // Flush empties both levels (used between simulated runs).
 func (h *Hierarchy) Flush() {
 	for _, l := range []*level{h.l1, h.l2} {

@@ -70,6 +70,18 @@ type Instance interface {
 	Verify() error
 }
 
+// Fingerprinter is optionally implemented by instances that can reduce their
+// computed result to one canonical 64-bit hash. The determinism harness
+// compares fingerprints across repeated runs, platforms, restructured
+// versions and processor counts, so an instance must only implement it when
+// its result is bit-identical across those dimensions — in particular, every
+// floating-point reduction must fold in a fixed order independent of the
+// simulated interleaving. Fingerprint is called after the run, alongside
+// Verify.
+type Fingerprinter interface {
+	Fingerprint() uint64
+}
+
 // App is an application with several restructured versions.
 type App interface {
 	// Name is the application's identifier ("lu", "ocean", ...).

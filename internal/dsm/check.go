@@ -1,0 +1,85 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// CheckInvariants implements sim.InvariantChecked for the directory protocol.
+// The directory must be the single source of truth for every line:
+//
+//   - an exclusive owner is the ONLY sharer and holds the line Modified or
+//     Exclusive in its L2;
+//   - without an owner, every recorded sharer holds the line Shared;
+//   - a sharer bit is set if and only if that node's cache holds the line
+//     (OnL2Evict keeps the reverse direction; invalidations the forward);
+//   - each hierarchy preserves multilevel inclusion;
+//   - no home's directory controller is charged more occupancy than wall
+//     time.
+func (d *Platform) CheckInvariants() error {
+	las := make([]uint64, 0, len(d.dir))
+	for la := range d.dir {
+		las = append(las, la)
+	}
+	// Sorted so a violating run reports the same line every time.
+	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+	for _, la := range las {
+		e := d.dir[la]
+		if d.np < 64 && e.sharers>>uint(d.np) != 0 {
+			return fmt.Errorf("dsm: line %#x has sharer bits %#x beyond %d nodes", la, e.sharers, d.np)
+		}
+		if e.owner >= 0 {
+			if int(e.owner) >= d.np {
+				return fmt.Errorf("dsm: line %#x owned by out-of-range node %d", la, e.owner)
+			}
+			if e.sharers != 1<<uint(e.owner) {
+				return fmt.Errorf("dsm: line %#x has owner %d but sharers %#x (owner must be sole sharer)", la, e.owner, e.sharers)
+			}
+		}
+		for q := 0; q < d.np; q++ {
+			bit := e.sharers&(1<<uint(q)) != 0
+			holds := d.hasLine(q, la*d.line)
+			if bit && !holds {
+				return fmt.Errorf("dsm: line %#x lists node %d as sharer but its cache lost the line", la, q)
+			}
+			if !holds {
+				continue
+			}
+			_, st := d.caches[q].Probe(la * d.line)
+			if int(e.owner) == q {
+				if st != cache.Modified && st != cache.Exclusive {
+					return fmt.Errorf("dsm: line %#x owner %d holds it in state %s, want M or E", la, q, st)
+				}
+			} else if bit && st != cache.Shared {
+				return fmt.Errorf("dsm: line %#x non-owner sharer %d holds it in state %s, want S", la, q, st)
+			}
+		}
+	}
+	for q := 0; q < d.np; q++ {
+		if err := d.caches[q].CheckInclusion(); err != nil {
+			return fmt.Errorf("dsm: node %d: %w", q, err)
+		}
+		var lerr error
+		d.caches[q].LinesL2(func(la uint64, st cache.State) {
+			if lerr != nil {
+				return
+			}
+			e, ok := d.dir[la]
+			if !ok || e.sharers&(1<<uint(q)) == 0 {
+				lerr = fmt.Errorf("dsm: node %d caches line %#x (state %s) unknown to the directory", q, la, st)
+			}
+		})
+		if lerr != nil {
+			return lerr
+		}
+		if err := d.dirOcc[q].CheckOccupancy(fmt.Sprintf("dsm: home %d directory", q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ sim.InvariantChecked = (*Platform)(nil)

@@ -1,0 +1,46 @@
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Regression: a write UPGRADE (write to a line the writer already holds
+// Shared) must leave the writer's own cache in Modified. The bug: the
+// protocol recorded the writer as exclusive owner in the directory but
+// cache.Access keeps a hit's existing state, so the line stayed Shared —
+// inconsistent with the directory, and every later write by the owner paid
+// a fresh upgrade transaction for a line it already owned.
+func TestWriteUpgradeLeavesOwnerModified(t *testing.T) {
+	as := mem.NewAddressSpace(4096, 2)
+	pl := New(as, DefaultParams(), 2)
+	k := sim.New(pl, sim.Config{NumProcs: 2, Check: true})
+	a := as.AllocPages(4096)
+	as.SetHome(a, 4096, 0)
+	_, err := k.RunErr("upgrade", func(p *sim.Proc) {
+		if p.ID() == 0 {
+			p.Read(a)
+		}
+		p.Barrier()
+		if p.ID() == 1 {
+			p.Read(a) // both caches now hold the line Shared
+		}
+		p.Barrier()
+		if p.ID() == 1 {
+			p.Write(a) // upgrade: invalidate proc 0, take ownership
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st := pl.caches[1].Probe(a); st != cache.Modified {
+		t.Errorf("writer's cache holds upgraded line in state %s, want M", st)
+	}
+	if lvl, _ := pl.caches[0].Probe(a); lvl != cache.Miss {
+		t.Error("old sharer still holds the line after the upgrade invalidation")
+	}
+}

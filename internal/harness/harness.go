@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -32,6 +33,10 @@ type Spec struct {
 	// SkipVerify skips result verification (benchmarks re-running a
 	// version many times).
 	SkipVerify bool
+	// Check enables the kernel's runtime invariant checker (scheduler
+	// monotonicity, platform protocol sweeps, accounting identity); see
+	// sim.Config.Check. Also forced on process-wide by REPRO_CHECK=1.
+	Check bool
 
 	// TraceSink, when non-nil, receives every protocol event of the run
 	// (see internal/trace). TraceRing, when positive, keeps the last N
@@ -56,9 +61,14 @@ func (s Spec) label() string {
 // the diagnostic flags for readability, which made it unsafe as a cache
 // key: a FreeCSFaults run would have aliased a normal one).
 func (s Spec) memoKey() string {
-	return fmt.Sprintf("%s/%s@%s p=%d scale=%g freecs=%v noverify=%v",
-		s.App, s.Version, s.Platform, s.NumProcs, s.Scale, s.FreeCSFaults, s.SkipVerify)
+	return fmt.Sprintf("%s/%s@%s p=%d scale=%g freecs=%v noverify=%v check=%v",
+		s.App, s.Version, s.Platform, s.NumProcs, s.Scale, s.FreeCSFaults, s.SkipVerify, s.Check)
 }
+
+// envCheck force-enables invariant checking for the whole process (the CI
+// checker leg). Read once: a value that flipped mid-process would let a
+// checked result alias an unchecked memo key.
+var envCheck = os.Getenv("REPRO_CHECK") != ""
 
 func (s Spec) withDefaults() Spec {
 	if s.NumProcs == 0 {
@@ -73,12 +83,23 @@ func (s Spec) withDefaults() Spec {
 	if s.Platform == "" {
 		s.Platform = "svm"
 	}
+	if envCheck {
+		s.Check = true
+	}
 	return s
 }
 
+// VerifyError wraps a result-verification failure, so renderers and the
+// differential harness can classify it apart from contained simulation
+// errors (panics, deadlocks, invariant violations).
+type VerifyError struct{ Err error }
+
+func (e *VerifyError) Error() string { return e.Err.Error() }
+func (e *VerifyError) Unwrap() error { return e.Err }
+
 // Execute runs one experiment and returns its statistics.
 func Execute(s Spec) (*stats.Run, error) {
-	run, _, err := execute(s, false)
+	run, _, _, err := execute(s, false)
 	return run, err
 }
 
@@ -87,26 +108,55 @@ func Execute(s Spec) (*stats.Run, error) {
 // profile report alongside the statistics. On the hardware platforms the
 // report is empty.
 func ExecuteProfiled(s Spec) (*stats.Run, string, error) {
-	return execute(s, true)
+	run, report, _, err := execute(s, true)
+	return run, report, err
 }
 
-func execute(s Spec, profile bool) (*stats.Run, string, error) {
+// ExecuteFingerprint runs one experiment and additionally returns the
+// result fingerprint when the application implements core.Fingerprinter
+// (ok=false otherwise). The determinism harness compares fingerprints
+// across repetitions, platforms and processor counts.
+func ExecuteFingerprint(s Spec) (run *stats.Run, fp uint64, ok bool, err error) {
+	run, _, inst, err := execute(s, false)
+	if err != nil {
+		return run, 0, false, err
+	}
+	if f, has := inst.(core.Fingerprinter); has {
+		return run, f.Fingerprint(), true, nil
+	}
+	return run, 0, false, nil
+}
+
+// buildInstance contains panics from application Build (layout constraints
+// like 4-D block dimensions that do not divide for the chosen processor
+// count and scale) as errors, so a bad cell renders as an error row instead
+// of crashing the whole figure run.
+func buildInstance(a core.App, version string, scale float64, as *mem.AddressSpace, np int) (inst core.Instance, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("build panic: %v", r)
+		}
+	}()
+	return a.Build(version, scale, as, np)
+}
+
+func execute(s Spec, profile bool) (*stats.Run, string, core.Instance, error) {
 	s = s.withDefaults()
 	a, err := core.Lookup(s.App)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	if _, err := core.FindVersion(a, s.Version); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	as := mem.NewAddressSpace(platform.PageSize, s.NumProcs)
-	inst, err := a.Build(s.Version, s.Scale, as, s.NumProcs)
+	inst, err := buildInstance(a, s.Version, s.Scale, as, s.NumProcs)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, fmt.Errorf("%s: %w", s.label(), err)
 	}
 	pl, err := platform.Make(s.Platform, as, s.NumProcs)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	prof, _ := pl.(interface {
 		EnableProfiling()
@@ -119,6 +169,7 @@ func execute(s Spec, profile bool) (*stats.Run, string, error) {
 		NumProcs:       s.NumProcs,
 		BarrierManager: sim.AutoBarrierManager,
 		FreeCSFaults:   s.FreeCSFaults,
+		Check:          s.Check,
 	})
 	if s.TraceSink != nil {
 		k.SetTraceSink(s.TraceSink)
@@ -131,21 +182,22 @@ func execute(s Spec, profile bool) (*stats.Run, string, error) {
 	}
 	run, err := k.RunErr(s.label(), inst.Body)
 	if err != nil {
-		// Panics and deadlocks inside the simulation come back as
-		// structured errors; label the cell and pass them through so a
-		// figure run can print an error row instead of crashing.
-		return nil, "", fmt.Errorf("%s: %w", s.label(), err)
+		// Panics, deadlocks and invariant violations inside the simulation
+		// come back as structured errors; label the cell and pass them
+		// through so a figure run can print an error row instead of
+		// crashing.
+		return nil, "", nil, fmt.Errorf("%s: %w", s.label(), err)
 	}
 	if !s.SkipVerify {
 		if err := inst.Verify(); err != nil {
-			return nil, "", fmt.Errorf("%s: %w", s.label(), err)
+			return nil, "", nil, fmt.Errorf("%s: %w", s.label(), &VerifyError{Err: err})
 		}
 	}
 	report := ""
 	if profile && prof != nil {
 		report = prof.ProfileReport(10)
 	}
-	return run, report, nil
+	return run, report, inst, nil
 }
 
 // Runner executes experiments with a cache of uniprocessor baselines. Scale
@@ -156,6 +208,10 @@ func execute(s Spec, profile bool) (*stats.Run, string, error) {
 type Runner struct {
 	NumProcs int
 	Scale    float64
+	// Check enables the runtime invariant checker for every cell this
+	// runner executes (figures -check). Set before the first Run call:
+	// it is part of the memo key.
+	Check bool
 
 	mu   sync.Mutex
 	t1   map[string]*memoEntry // app@platform -> uniprocessor orig run
@@ -197,7 +253,7 @@ func (r *Runner) claim(m map[string]*memoEntry, key string) (*memoEntry, bool) {
 // Run executes (and memoizes) an experiment for this runner's processor
 // count and scale.
 func (r *Runner) Run(app, version, plat string) (*stats.Run, error) {
-	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app)}
+	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app), Check: r.Check}
 	e, mine := r.claim(r.runs, s.memoKey())
 	if mine {
 		e.run, e.err = Execute(s)
@@ -210,7 +266,7 @@ func (r *Runner) Run(app, version, plat string) (*stats.Run, error) {
 // Record inserts an externally-executed run into the memo cache (used by the
 // CLI to avoid re-running the experiment it just printed).
 func (r *Runner) Record(app, version, plat string, run *stats.Run) {
-	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app)}
+	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app), Check: r.Check}
 	e := &memoEntry{done: make(chan struct{}), run: run}
 	close(e.done)
 	r.mu.Lock()
@@ -229,7 +285,7 @@ func (r *Runner) Baseline(app, plat string) (uint64, error) {
 			e.err = err
 		} else {
 			origName := a.Versions()[0].Name
-			e.run, e.err = Execute(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app)})
+			e.run, e.err = Execute(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app), Check: r.Check})
 		}
 		close(e.done)
 	}

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -52,4 +54,61 @@ func RunJSON(s Spec, run *stats.Run, speedup float64) ([]byte, error) {
 		out.Phases = run.PhaseTimes
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// runErrorJSON is the machine-readable form of a FAILED experiment: the same
+// identity fields as runJSON, with a structured error object in place of the
+// results, so scripted pipelines can distinguish a failed cell from a
+// missing one and branch on the failure kind.
+type runErrorJSON struct {
+	App      string    `json:"app"`
+	Version  string    `json:"version"`
+	Platform string    `json:"platform"`
+	Procs    int       `json:"procs"`
+	Scale    float64   `json:"scale"`
+	Error    errorJSON `json:"error"`
+}
+
+type errorJSON struct {
+	// Kind classifies the failure: "panic" (application or platform panic
+	// contained by the kernel), "deadlock", "invariant" (runtime checker
+	// violation), "verify" (wrong computed result), or "error".
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// RunErrorJSON renders a failed experiment as indented JSON.
+func RunErrorJSON(s Spec, err error) ([]byte, error) {
+	s = s.withDefaults()
+	out := runErrorJSON{
+		App:      s.App,
+		Version:  s.Version,
+		Platform: s.Platform,
+		Procs:    s.NumProcs,
+		Scale:    s.Scale,
+		Error:    errorJSON{Kind: errorKind(err), Message: err.Error()},
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// errorKind maps an execution error to its JSON kind string.
+func errorKind(err error) string {
+	var (
+		pe *sim.ProcPanicError
+		de *sim.DeadlockError
+		ie *sim.InvariantError
+		ve *VerifyError
+	)
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.As(err, &de):
+		return "deadlock"
+	case errors.As(err, &ie):
+		return "invariant"
+	case errors.As(err, &ve):
+		return "verify"
+	default:
+		return "error"
+	}
 }

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/apps"
+)
+
+func TestRunJSONSuccessShape(t *testing.T) {
+	spec := Spec{App: "lu", Version: "orig", Platform: "svm", NumProcs: 2, Scale: 0.25}
+	run, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunJSON(spec, run, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		App      string              `json:"app"`
+		Version  string              `json:"version"`
+		Platform string              `json:"platform"`
+		Procs    int                 `json:"procs"`
+		EndTime  uint64              `json:"end_time"`
+		Cycles   map[string][]uint64 `json:"cycles"`
+		Speedup  float64             `json:"speedup"`
+		Error    *json.RawMessage    `json:"error"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "lu" || got.Version != "orig" || got.Platform != "svm" || got.Procs != 2 {
+		t.Errorf("identity fields wrong: %+v", got)
+	}
+	if got.EndTime == 0 || got.Speedup != 1.5 {
+		t.Errorf("end_time=%d speedup=%v, want nonzero and 1.5", got.EndTime, got.Speedup)
+	}
+	if got.Error != nil {
+		t.Error("success shape carries an error object")
+	}
+	for cat, per := range got.Cycles {
+		if len(per) != 2 {
+			t.Errorf("category %s has %d per-proc entries, want 2", cat, len(per))
+		}
+	}
+}
+
+func TestRunErrorJSONShapeAndKinds(t *testing.T) {
+	spec := Spec{App: "lu", Version: "orig", Platform: "svm", NumProcs: 2, Scale: 0.25}
+	cases := []struct {
+		err  error
+		kind string
+	}{
+		{fmt.Errorf("cell: %w", &sim.ProcPanicError{Proc: 1, Value: "boom"}), "panic"},
+		{fmt.Errorf("cell: %w", &sim.DeadlockError{Dump: "stuck"}), "deadlock"},
+		{fmt.Errorf("cell: %w", &sim.InvariantError{Where: "platform", Detail: "bad"}), "invariant"},
+		{fmt.Errorf("cell: %w", &VerifyError{Err: errors.New("wrong result")}), "verify"},
+		{errors.New("no such app"), "error"},
+	}
+	for _, c := range cases {
+		out, err := RunErrorJSON(spec, c.err)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			App   string `json:"app"`
+			Procs int    `json:"procs"`
+			Error struct {
+				Kind    string `json:"kind"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(out, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.App != "lu" || got.Procs != 2 {
+			t.Errorf("identity fields wrong: %+v", got)
+		}
+		if got.Error.Kind != c.kind {
+			t.Errorf("kind = %q for %v, want %q", got.Error.Kind, c.err, c.kind)
+		}
+		if got.Error.Message == "" {
+			t.Error("empty error message")
+		}
+	}
+}
+
+// A build that fails (indivisible 4-D block dimensions) must come back as an
+// error a figure run can render, not a process crash.
+func TestBuildFailureIsContained(t *testing.T) {
+	_, err := Execute(Spec{App: "volrend", Version: "ds4d", Platform: "svm", NumProcs: 5, Scale: 0.25})
+	if err == nil {
+		t.Fatal("indivisible ds4d build succeeded, want contained error")
+	}
+	if out, jerr := RunErrorJSON(Spec{App: "volrend", Version: "ds4d", Platform: "svm", NumProcs: 5, Scale: 0.25}, err); jerr != nil {
+		t.Fatalf("error not renderable as JSON: %v", jerr)
+	} else if len(out) == 0 {
+		t.Fatal("empty JSON error")
+	}
+}

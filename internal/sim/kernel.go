@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"strings"
 
 	"repro/internal/stats"
@@ -30,6 +31,14 @@ type Config struct {
 	// dilation ("we pretended in the simulator that the page faults
 	// within the critical sections are free").
 	FreeCSFaults bool
+	// Check enables runtime invariant checking: the scheduler verifies
+	// virtual-time monotonicity at every pick, the platform's protocol
+	// invariants are swept at exponentially spaced intervals and at the
+	// end of the run (see InvariantChecked), and the final statistics must
+	// satisfy the accounting identity that each processor's breakdown
+	// categories sum to its final clock. A violation is returned from
+	// RunErr as a contained *InvariantError.
+	Check bool
 }
 
 // AutoBarrierManager selects the paper's default barrier-manager placement.
@@ -106,6 +115,11 @@ type Kernel struct {
 
 	running  bool
 	aborting bool // set while unwinding parked goroutines after a failure
+
+	// Invariant checking state (Config.Check).
+	lastPickClock uint64 // virtual-time floor at the previous pick
+	picks         uint64
+	nextCheck     uint64 // pick count of the next platform sweep
 
 	// Tracing. tr is the active sink for the current run (nil when tracing
 	// is off — the fast path every event site branches on); it is rebuilt
@@ -275,6 +289,9 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 		arrivals: make([]uint64, k.cfg.NumProcs),
 		starts:   make([]uint64, k.cfg.NumProcs),
 	}
+	k.lastPickClock = 0
+	k.picks = 0
+	k.nextCheck = 1024
 
 	k.procs = make([]*Proc, k.cfg.NumProcs)
 	for i := 0; i < k.cfg.NumProcs; i++ {
@@ -313,6 +330,12 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 		if k.sampler != nil && p.clock >= k.nextSample {
 			k.sample(p.clock)
 		}
+		if k.cfg.Check {
+			if err := k.checkTick(p); err != nil {
+				k.unwind()
+				return nil, err
+			}
+		}
 		k.applyDebt(p)
 		p.state = stRunning
 		p.sliceStart = p.clock
@@ -342,6 +365,11 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 		}
 	}
 	k.run.EndTime = end
+	if k.cfg.Check {
+		if err := k.checkFinal(); err != nil {
+			return nil, err
+		}
+	}
 	if k.sampler != nil && end > k.lastSample {
 		// Final sample so time series cover the whole run (skipped when a
 		// regular sample already landed exactly at the end time).
@@ -425,7 +453,15 @@ func (k *Kernel) stateDump() string {
 		fmt.Fprintf(&b, "proc %d: state=%d clock=%d\n", p.id, p.state, p.clock)
 	}
 	fmt.Fprintf(&b, "barrier: %d arrived\n", k.bar.count)
-	for id, l := range k.locks {
+	// Sorted lock order: map iteration would make the dump (and so the
+	// DeadlockError text) differ between otherwise identical runs.
+	ids := make([]int, 0, len(k.locks))
+	for id := range k.locks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := k.locks[id]
 		if l.held || len(l.queue) > 0 {
 			fmt.Fprintf(&b, "lock %d: held=%v holder=%d waiters=%d\n", id, l.held, l.holder, len(l.queue))
 		}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -269,12 +271,20 @@ func (p *Proc) Barrier() {
 	release := k.plat.BarrierRelease(b.arrivals, k.cfg.BarrierManager)
 	for _, q := range b.waiting {
 		depart := release + k.plat.BarrierDepart(q.id, release)
+		if depart < b.arrivals[q.id] {
+			// A platform returning a release earlier than an arrival
+			// would silently underflow the wait charge below.
+			panic(fmt.Sprintf("sim: barrier departure %d before proc %d's arrival %d", depart, q.id, b.arrivals[q.id]))
+		}
 		k.run.Procs[q.id].Cycles[stats.BarrierWait] += depart - b.arrivals[q.id]
 		q.clock = depart
 		k.Emit(trace.Barrier, q.id, b.starts[q.id], b.epoch, depart-b.starts[q.id])
 		k.noteReady(q)
 	}
 	depart := release + k.plat.BarrierDepart(p.id, release)
+	if depart < arrived {
+		panic(fmt.Sprintf("sim: barrier departure %d before proc %d's arrival %d", depart, p.id, arrived))
+	}
 	c.Cycles[stats.BarrierWait] += depart - arrived
 	p.clock = depart
 	k.Emit(trace.Barrier, p.id, start, b.epoch, depart-start)

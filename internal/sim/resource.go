@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Resource models a serially-occupied resource (a bus, a NIC, a node's
 // protocol handler, a directory controller) with a busy-until clock.
 // Requests processed in near virtual-time order queue behind one another,
@@ -8,6 +10,7 @@ package sim
 // cost").
 type Resource struct {
 	busyUntil uint64
+	occ       uint64 // total busy cycles ever charged
 }
 
 // Acquire reserves the resource for dur cycles starting no earlier than now;
@@ -18,14 +21,28 @@ func (r *Resource) Acquire(now, dur uint64) (start uint64) {
 		start = r.busyUntil
 	}
 	r.busyUntil = start + dur
+	r.occ += dur
 	return start
 }
 
 // BusyUntil returns the time the resource becomes free.
 func (r *Resource) BusyUntil() uint64 { return r.busyUntil }
 
+// Occupancy returns the total busy cycles charged to the resource. Since
+// reservations never overlap, occupancy can never exceed BusyUntil — the
+// invariant platform checkers and the sim property tests assert.
+func (r *Resource) Occupancy() uint64 { return r.occ }
+
+// CheckOccupancy verifies the occupancy-bounded-by-wall-time invariant.
+func (r *Resource) CheckOccupancy(name string) error {
+	if r.occ > r.busyUntil {
+		return fmt.Errorf("%s: occupancy %d exceeds busy-until time %d", name, r.occ, r.busyUntil)
+	}
+	return nil
+}
+
 // Reset clears the occupancy clock (between runs).
-func (r *Resource) Reset() { r.busyUntil = 0 }
+func (r *Resource) Reset() { r.busyUntil = 0; r.occ = 0 }
 
 // Prevalidator is implemented by platforms that support warm-starting page
 // copies at given nodes, modelling data already present after (untimed)

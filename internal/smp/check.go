@@ -1,0 +1,83 @@
+package smp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// CheckInvariants implements sim.InvariantChecked for the snooping-bus MESI
+// protocol. The line table plays the role the snoop results play in
+// hardware, so it must agree exactly with the caches:
+//
+//   - an exclusive owner is the ONLY sharer and holds the line Modified or
+//     Exclusive in its L2;
+//   - without an owner, every recorded sharer holds the line Shared;
+//   - a sharer bit is set if and only if that processor's cache holds the
+//     line;
+//   - each hierarchy preserves multilevel inclusion;
+//   - bus occupancy never exceeds its busy-until clock.
+func (s *Platform) CheckInvariants() error {
+	lineSz := uint64(CacheConfig.Line)
+	las := make([]uint64, 0, len(s.lines))
+	for la := range s.lines {
+		las = append(las, la)
+	}
+	// Sorted so a violating run reports the same line every time.
+	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+	for _, la := range las {
+		e := s.lines[la]
+		if s.np < 64 && e.sharers>>uint(s.np) != 0 {
+			return fmt.Errorf("smp: line %#x has sharer bits %#x beyond %d processors", la, e.sharers, s.np)
+		}
+		if e.owner >= 0 {
+			if int(e.owner) >= s.np {
+				return fmt.Errorf("smp: line %#x owned by out-of-range processor %d", la, e.owner)
+			}
+			if e.sharers != 1<<uint(e.owner) {
+				return fmt.Errorf("smp: line %#x has owner %d but sharers %#x (owner must be sole sharer)", la, e.owner, e.sharers)
+			}
+		}
+		for q := 0; q < s.np; q++ {
+			bit := e.sharers&(1<<uint(q)) != 0
+			holds := s.hasLine(q, la*lineSz)
+			if bit && !holds {
+				return fmt.Errorf("smp: line %#x lists processor %d as sharer but its cache lost the line", la, q)
+			}
+			if !holds {
+				continue
+			}
+			_, st := s.caches[q].Probe(la * lineSz)
+			if int(e.owner) == q {
+				if st != cache.Modified && st != cache.Exclusive {
+					return fmt.Errorf("smp: line %#x owner %d holds it in state %s, want M or E", la, q, st)
+				}
+			} else if bit && st != cache.Shared {
+				return fmt.Errorf("smp: line %#x non-owner sharer %d holds it in state %s, want S", la, q, st)
+			}
+		}
+	}
+	for q := 0; q < s.np; q++ {
+		if err := s.caches[q].CheckInclusion(); err != nil {
+			return fmt.Errorf("smp: processor %d: %w", q, err)
+		}
+		var lerr error
+		s.caches[q].LinesL2(func(la uint64, st cache.State) {
+			if lerr != nil {
+				return
+			}
+			e, ok := s.lines[la]
+			if !ok || e.sharers&(1<<uint(q)) == 0 {
+				lerr = fmt.Errorf("smp: processor %d caches line %#x (state %s) unknown to the line table", q, la, st)
+			}
+		})
+		if lerr != nil {
+			return lerr
+		}
+	}
+	return s.bus.CheckOccupancy("smp: bus")
+}
+
+var _ sim.InvariantChecked = (*Platform)(nil)

@@ -174,6 +174,10 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		e.sharers = 1 << uint(p)
 		e.owner = int8(p)
 		h.Access(addr, true, cache.Modified)
+		// Access applies fillState only on a miss; on a write UPGRADE the
+		// line hits in state Shared and would stay Shared, so the owner
+		// would keep paying upgrade transactions for a line it owns.
+		h.SetState(addr, cache.Modified)
 		if comm {
 			cost.DataWait += wait + lat
 			c.RemoteMisses++

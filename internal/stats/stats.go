@@ -179,6 +179,33 @@ func (r *Run) MaxProcTotal() uint64 {
 	return m
 }
 
+// CheckAccounting verifies the accounting identity against the processors'
+// final virtual clocks: every breakdown category sum must equal the clock
+// it claims to explain (nothing double-charged, nothing dropped), no clock
+// may exceed the recorded end time, and the end time must be attained.
+func (r *Run) CheckAccounting(finalClocks []uint64) error {
+	if len(finalClocks) != len(r.Procs) {
+		return fmt.Errorf("accounting: %d final clocks for %d processors", len(finalClocks), len(r.Procs))
+	}
+	var maxClock uint64
+	for i := range r.Procs {
+		if t := r.Procs[i].Total(); t != finalClocks[i] {
+			return fmt.Errorf("accounting: proc %d breakdown sums to %d cycles but its clock is %d (drift %+d)",
+				i, t, finalClocks[i], int64(t)-int64(finalClocks[i]))
+		}
+		if finalClocks[i] > r.EndTime {
+			return fmt.Errorf("accounting: proc %d clock %d exceeds end time %d", i, finalClocks[i], r.EndTime)
+		}
+		if finalClocks[i] > maxClock {
+			maxClock = finalClocks[i]
+		}
+	}
+	if len(r.Procs) > 0 && maxClock != r.EndTime {
+		return fmt.Errorf("accounting: end time %d not attained by any processor (max clock %d)", r.EndTime, maxClock)
+	}
+	return nil
+}
+
 // RecordPhase accumulates a named phase duration (in cycles).
 func (r *Run) RecordPhase(name string, cycles uint64) {
 	if r.PhaseTimes == nil {

@@ -1,6 +1,8 @@
 package svm
 
 import (
+	"math"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -23,8 +25,12 @@ type node struct {
 	valid    []bool   // per page: is a copy readable here
 	dirty    []bool   // per page: twin exists (written in current interval)
 	dirtyLst []pageID
-	cache    *cache.Hierarchy
-	nic      sim.Resource // NIC + protocol handler occupancy for incoming requests
+	// pending lists pages whose diff was already flushed home by an
+	// acquire-time invalidation in the still-open interval; the next flush
+	// publishes their write notices without diffing them again.
+	pending []pageID
+	cache   *cache.Hierarchy
+	nic     sim.Resource // NIC + protocol handler occupancy for incoming requests
 }
 
 // Platform is the HLRC shared-virtual-memory machine model.
@@ -207,56 +213,103 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 	return cost
 }
 
+// diffHome computes the diff of page pg against its twin, ships it to the
+// page's home and has the home apply it (updating the home copy under the
+// home's caches). It returns the cycles spent on the diffing node p; the
+// home's receive/apply work is charged asynchronously to the home.
+func (s *Platform) diffHome(p int, pg pageID, now uint64) (local uint64) {
+	home := s.as.Home(pg * s.P.PageSize)
+	s.k.Counters(p).DiffsCreated++
+	local = s.P.DiffCreate + s.P.MsgSend
+	s.k.Emit(trace.DiffCreate, p, now+local, pg, s.P.DiffCreate)
+	s.k.Counters(home).DiffsApplied++
+	service := s.P.MsgRecv + s.P.DiffXfer + s.P.DiffApply
+	start := s.nodes[home].nic.Acquire(now+local+s.P.NetLatency, service)
+	s.k.ChargeHandler(home, service)
+	s.k.Emit(trace.DiffApply, home, start, pg, service)
+	s.k.Emit(trace.NICOccupy, home, start, pg, service)
+	s.nodes[home].cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
+	return local
+}
+
 // flush computes diffs for all pages dirtied in the current interval, sends
 // them to their homes, logs write notices, and opens a new interval. It
 // returns the handler cycles spent by the flushing node.
 func (s *Platform) flush(p int, now uint64) (handler uint64) {
 	n := s.nodes[p]
-	c := s.k.Counters(p)
-	if len(n.dirtyLst) > 0 {
-		log := append([]pageID(nil), n.dirtyLst...)
-		for _, pg := range n.dirtyLst {
-			n.dirty[pg] = false
-			home := s.as.Home(pg * s.P.PageSize)
-			handler += s.P.NoticeCost
-			s.k.Emit(trace.WriteNotice, p, now+handler, pg, s.P.NoticeCost)
-			if home != p {
-				// Diff against the twin, ship to home, home applies.
-				c.DiffsCreated++
-				handler += s.P.DiffCreate + s.P.MsgSend
-				s.k.Emit(trace.DiffCreate, p, now+handler, pg, s.P.DiffCreate)
-				hc := s.k.Counters(home)
-				hc.DiffsApplied++
-				service := s.P.MsgRecv + s.P.DiffXfer + s.P.DiffApply
-				start := s.nodes[home].nic.Acquire(now+handler+s.P.NetLatency, service)
-				s.k.ChargeHandler(home, service)
-				s.k.Emit(trace.DiffApply, home, start, pg, service)
-				s.k.Emit(trace.NICOccupy, home, start, pg, service)
-				// The applied diff changes the home copy under
-				// the home's caches.
-				s.nodes[home].cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
-			}
+	var log []pageID
+	// Pages whose diff already went home at an acquire-time invalidation
+	// still owe a write notice in this interval; re-dirtied ones are
+	// covered by the dirty-list walk below.
+	for _, pg := range n.pending {
+		if n.dirty[pg] {
+			continue
 		}
-		n.dirtyLst = n.dirtyLst[:0]
-		s.writeLog[p] = append(s.writeLog[p], log)
-	} else {
-		s.writeLog[p] = append(s.writeLog[p], nil)
+		log = append(log, pg)
+		handler += s.P.NoticeCost
+		s.k.Emit(trace.WriteNotice, p, now+handler, pg, s.P.NoticeCost)
+	}
+	n.pending = n.pending[:0]
+	for _, pg := range n.dirtyLst {
+		n.dirty[pg] = false
+		log = append(log, pg)
+		handler += s.P.NoticeCost
+		s.k.Emit(trace.WriteNotice, p, now+handler, pg, s.P.NoticeCost)
+		if s.as.Home(pg*s.P.PageSize) != p {
+			// Diff against the twin, ship to home, home applies.
+			handler += s.diffHome(p, pg, now+handler)
+		}
+	}
+	n.dirtyLst = n.dirtyLst[:0]
+	s.writeLog[p] = append(s.writeLog[p], log)
+	if n.interval == math.MaxUint32 {
+		// Intervals advance at every release and barrier arrival whether or
+		// not anything was written, so a long enough run genuinely gets
+		// here. Wrapping would silently reorder the vector clocks (interval
+		// 0 would compare older than everything it follows), so fail loudly;
+		// the kernel contains the panic as a ProcPanicError.
+		panic(&IntervalOverflowError{Node: p})
 	}
 	n.interval++
 	n.vc[p] = n.interval
 	return handler
 }
 
+// removeDirty drops pg from the node's pending-flush list, preserving the
+// order of the remaining entries (flush walks the list in order, so its
+// order is part of the run's determinism).
+func (n *node) removeDirty(pg pageID) {
+	for i, d := range n.dirtyLst {
+		if d == pg {
+			n.dirtyLst = append(n.dirtyLst[:i], n.dirtyLst[i+1:]...)
+			return
+		}
+	}
+}
+
+// addPending records pg as diffed-but-unnotified in the open interval. A page
+// can be invalidated while dirty more than once per interval (re-fetch and
+// re-write between two acquires), so membership is checked to keep the list
+// duplicate-free — one notice per page per interval.
+func (n *node) addPending(pg pageID) {
+	for _, q := range n.pending {
+		if q == pg {
+			return
+		}
+	}
+	n.pending = append(n.pending, pg)
+}
+
 // invalidateUpTo advances node p's knowledge of q to interval upTo,
 // invalidating p's copies of every page q flushed in the newly covered
 // intervals (the Invalidate trace events land at virtual time now). Returns
-// the number of pages actually invalidated.
-func (s *Platform) invalidateUpTo(p, q int, upTo uint32, now uint64) int {
+// the number of pages actually invalidated and the cycles node p spent
+// flushing diffs of dirty pages home before dropping them.
+func (s *Platform) invalidateUpTo(p, q int, upTo uint32, now uint64) (inv int, diffC uint64) {
 	if p == q {
-		return 0
+		return 0, 0
 	}
 	n := s.nodes[p]
-	inv := 0
 	for i := n.vc[q] + 1; i <= upTo; i++ {
 		if int(i) >= len(s.writeLog[q]) {
 			break
@@ -269,6 +322,23 @@ func (s *Platform) invalidateUpTo(p, q int, upTo uint32, now uint64) int {
 				continue
 			}
 			if n.valid[pg] {
+				if n.dirty[pg] {
+					// The page was written here in the still-open
+					// interval. A multiple-writer protocol must not lose
+					// those writes: compute the diff against the twin and
+					// flush it home before dropping the copy
+					// (TreadMarks-style diff-on-invalidate; word-grained
+					// diffs merge at the home, which is what makes
+					// falsely-shared pages safe). The write notice is
+					// still published when the interval closes. Leaving
+					// the entry in dirtyLst instead would flush a diff
+					// for an invalid page — and a re-write after a
+					// refetch would append a duplicate entry,
+					// double-counting the diff.
+					diffC += s.diffHome(p, pg, now+diffC)
+					n.removeDirty(pg)
+					n.addPending(pg)
+				}
 				n.valid[pg] = false
 				n.dirty[pg] = false
 				inv++
@@ -279,7 +349,7 @@ func (s *Platform) invalidateUpTo(p, q int, upTo uint32, now uint64) int {
 	if upTo > n.vc[q] {
 		n.vc[q] = upTo
 	}
-	return inv
+	return inv, diffC
 }
 
 // LockRequest implements sim.Platform: the acquirer sends a request to the
@@ -301,9 +371,15 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 	}
 	if rvc, ok := s.lockVC[lock]; ok {
 		inv := 0
+		var diff uint64
 		for q := 0; q < s.np; q++ {
-			inv += s.invalidateUpTo(p, q, rvc[q], now)
+			i, diffC := s.invalidateUpTo(p, q, rvc[q], now+diff)
+			inv += i
+			diff += diffC
 		}
+		// Diff work is protocol-handler time, charged asynchronously like
+		// the release-side flush — it must not serialize lock handoffs.
+		s.k.ChargeHandler(p, diff)
 		cost += uint64(inv) * s.P.InvalCost
 		s.k.Counters(p).Invalidations += uint64(inv)
 	}
@@ -348,12 +424,18 @@ func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
 // every other node's vector clock; stale copies are invalidated.
 func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
 	inv := 0
+	var diff uint64
 	for q := 0; q < s.np; q++ {
 		if q == p {
 			continue
 		}
-		inv += s.invalidateUpTo(p, q, s.nodes[q].vc[q], releaseTime)
+		// Arrival flushed this node's dirty pages, so diffC is zero here in
+		// practice; accounted anyway for symmetry with LockGrant.
+		i, diffC := s.invalidateUpTo(p, q, s.nodes[q].vc[q], releaseTime+diff)
+		inv += i
+		diff += diffC
 	}
+	s.k.ChargeHandler(p, diff)
 	s.k.Counters(p).Invalidations += uint64(inv)
 	return s.P.MsgRecv + uint64(inv)*s.P.InvalCost
 }

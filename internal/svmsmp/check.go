@@ -1,0 +1,169 @@
+package svmsmp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// CheckInvariants implements sim.InvariantChecked for the two-level model.
+// The page-grained HLRC invariants from internal/svm hold here at CLUSTER
+// granularity — in particular the twin/diff balance, which only balances
+// when aggregated over a cluster, because the write trap (TwinsMade) lands
+// on the accessing processor while the flush (DiffsCreated) lands on
+// whichever cluster mate releases. On top of that, the intra-cluster line
+// directory must agree exactly with the member caches: a sharer bit is set
+// if and only if that processor's cache holds the line, and an owner holds
+// it in Modified or Exclusive.
+func (s *Platform) CheckInvariants() error {
+	for cid, c := range s.cl {
+		if c.vc[cid] != c.interval {
+			return fmt.Errorf("svmsmp: cluster %d's own vector-clock entry is %d but its interval is %d", cid, c.vc[cid], c.interval)
+		}
+		if got, want := len(s.writeLog[cid]), int(c.interval)+1; got != want {
+			return fmt.Errorf("svmsmp: cluster %d's write log has %d interval entries, want %d", cid, got, want)
+		}
+		for q, cq := range s.cl {
+			if c.vc[q] > cq.interval {
+				return fmt.Errorf("svmsmp: cluster %d knows interval %d of cluster %d, which has only reached %d", cid, c.vc[q], q, cq.interval)
+			}
+		}
+		seen := make(map[pageID]bool, len(c.dirtyLst))
+		var pendingTwins uint64
+		for _, pg := range c.dirtyLst {
+			if seen[pg] {
+				return fmt.Errorf("svmsmp: cluster %d's dirty list holds page %d twice", cid, pg)
+			}
+			seen[pg] = true
+			if !c.dirty[pg] {
+				return fmt.Errorf("svmsmp: cluster %d's dirty list holds page %d but its dirty bit is clear", cid, pg)
+			}
+			if !c.valid[pg] {
+				return fmt.Errorf("svmsmp: cluster %d has page %d dirty but not valid", cid, pg)
+			}
+			if s.homeCluster(pg*s.P.SVM.PageSize) != cid {
+				pendingTwins++
+			}
+		}
+		for pg, d := range c.dirty {
+			if d && !seen[pageID(pg)] {
+				return fmt.Errorf("svmsmp: cluster %d has page %d marked dirty but missing from the dirty list", cid, pg)
+			}
+		}
+		seenPend := make(map[pageID]bool, len(c.pending))
+		for _, pg := range c.pending {
+			if seenPend[pg] {
+				return fmt.Errorf("svmsmp: cluster %d's pending-notice list holds page %d twice", cid, pg)
+			}
+			seenPend[pg] = true
+		}
+		var made, diffed uint64
+		for q := cid * s.P.ClusterSize; q < (cid+1)*s.P.ClusterSize && q < s.np; q++ {
+			cnt := s.k.Counters(q)
+			made += cnt.TwinsMade
+			diffed += cnt.DiffsCreated
+		}
+		if made != diffed+pendingTwins {
+			return fmt.Errorf("svmsmp: cluster %d twin/diff balance broken: %d twins made != %d diffs + %d pending",
+				cid, made, diffed, pendingTwins)
+		}
+		if err := c.nic.CheckOccupancy(fmt.Sprintf("svmsmp: cluster %d NIC", cid)); err != nil {
+			return err
+		}
+		if err := c.bus.CheckOccupancy(fmt.Sprintf("svmsmp: cluster %d bus", cid)); err != nil {
+			return err
+		}
+		if err := s.checkLines(cid, c); err != nil {
+			return err
+		}
+	}
+	ids := make([]int, 0, len(s.lockVC))
+	for id := range s.lockVC {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		for q, iv := range s.lockVC[id] {
+			if iv > s.cl[q].interval {
+				return fmt.Errorf("svmsmp: lock %d's vector clock knows interval %d of cluster %d, which has only reached %d", id, iv, q, s.cl[q].interval)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLines cross-checks cluster cid's line directory against its member
+// caches, in both directions.
+func (s *Platform) checkLines(cid int, c *cluster) error {
+	lineSz := uint64(s.LineSize())
+	members := s.P.ClusterSize
+	if rest := s.np - cid*s.P.ClusterSize; rest < members {
+		members = rest
+	}
+	// Directory -> caches. Map iteration order does not matter for a passing
+	// sweep; collect violations deterministically by checking each entry
+	// fully before moving on and reporting the lowest offending line.
+	las := make([]uint64, 0, len(c.lines))
+	for la := range c.lines {
+		las = append(las, la)
+	}
+	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+	for _, la := range las {
+		e := c.lines[la]
+		if e.sharers>>uint(members) != 0 {
+			return fmt.Errorf("svmsmp: cluster %d line %#x has sharer bits %#x beyond its %d members", cid, la, e.sharers, members)
+		}
+		if e.owner >= 0 {
+			if int(e.owner) >= members {
+				return fmt.Errorf("svmsmp: cluster %d line %#x owned by out-of-range member %d", cid, la, e.owner)
+			}
+			if e.sharers&(1<<uint(e.owner)) == 0 {
+				return fmt.Errorf("svmsmp: cluster %d line %#x owner %d not among sharers %#x", cid, la, e.owner, e.sharers)
+			}
+		}
+		for q := 0; q < members; q++ {
+			h := s.caches[cid*s.P.ClusterSize+q]
+			holds := h.Contains(la * lineSz)
+			bit := e.sharers&(1<<uint(q)) != 0
+			if bit && !holds {
+				return fmt.Errorf("svmsmp: cluster %d line %#x lists member %d as sharer but its cache lost the line", cid, la, q)
+			}
+			if !holds {
+				continue
+			}
+			_, st := h.Probe(la * lineSz)
+			if int(e.owner) == q {
+				if st != cache.Modified && st != cache.Exclusive {
+					return fmt.Errorf("svmsmp: cluster %d line %#x owner %d holds it in state %s, want M or E", cid, la, q, st)
+				}
+			} else if bit && st != cache.Shared {
+				return fmt.Errorf("svmsmp: cluster %d line %#x non-owner sharer %d holds it in state %s, want S", cid, la, q, st)
+			}
+		}
+	}
+	// Caches -> directory, plus inclusion within each hierarchy.
+	for q := 0; q < members; q++ {
+		h := s.caches[cid*s.P.ClusterSize+q]
+		if err := h.CheckInclusion(); err != nil {
+			return fmt.Errorf("svmsmp: cluster %d member %d: %w", cid, q, err)
+		}
+		var lerr error
+		h.LinesL2(func(la uint64, st cache.State) {
+			if lerr != nil {
+				return
+			}
+			e, ok := c.lines[la]
+			if !ok || e.sharers&(1<<uint(q)) == 0 {
+				lerr = fmt.Errorf("svmsmp: cluster %d member %d caches line %#x (state %s) unknown to the line directory", cid, q, la, st)
+			}
+		})
+		if lerr != nil {
+			return lerr
+		}
+	}
+	return nil
+}
+
+var _ sim.InvariantChecked = (*Platform)(nil)

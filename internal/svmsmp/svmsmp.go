@@ -13,6 +13,8 @@
 package svmsmp
 
 import (
+	"math"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -49,9 +51,13 @@ type cluster struct {
 	valid    []bool
 	dirty    []bool
 	dirtyLst []pageID
-	nic      sim.Resource
-	bus      sim.Resource
-	lines    map[uint64]*lineEntry // line -> intra-cluster sharers/owner
+	// pending lists pages already diffed home by an acquire-time
+	// invalidation in the still-open interval; the next flush publishes
+	// their write notices without diffing them again (see internal/svm).
+	pending []pageID
+	nic     sim.Resource
+	bus     sim.Resource
+	lines   map[uint64]*lineEntry // line -> intra-cluster sharers/owner
 }
 
 type lineEntry struct {
@@ -278,6 +284,10 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		e.sharers = 1 << uint(local)
 		e.owner = int8(local)
 		h.Access(addr, true, cache.Modified)
+		// Access applies fillState only on a miss; on a write UPGRADE the
+		// line hits in state Shared and would stay Shared, so the owner
+		// would keep paying upgrade transactions for a line it owns.
+		h.SetState(addr, cache.Modified)
 	} else {
 		if e.owner >= 0 && int(e.owner) != local {
 			s.caches[cid*s.P.ClusterSize+int(e.owner)].SetState(addr, cache.Shared)
@@ -298,56 +308,105 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 	return cost
 }
 
+// diffHome computes the diff of page pg against the cluster's twin, ships it
+// to the page's home cluster and has it applied there. It returns the cycles
+// spent on the diffing processor p; the home cluster's receive/apply work is
+// charged asynchronously. Only called for pages homed in another cluster.
+func (s *Platform) diffHome(p, cid int, pg pageID, now uint64) (local uint64) {
+	P := s.P.SVM
+	hc := s.homeCluster(pg * P.PageSize)
+	s.k.Counters(p).DiffsCreated++
+	local = P.DiffCreate + P.MsgSend
+	s.k.Emit(trace.DiffCreate, p, now+local, pg, P.DiffCreate)
+	service := P.MsgRecv + P.DiffXfer + P.DiffApply
+	start := s.cl[hc].nic.Acquire(now+local+P.NetLatency, service)
+	s.k.ChargeHandler(hc*s.P.ClusterSize, service)
+	s.k.Emit(trace.DiffApply, hc*s.P.ClusterSize, start, pg, service)
+	s.k.Emit(trace.NICOccupy, hc, start, pg, service)
+	// The applied diff changes the home copy under the home cluster's
+	// caches; the intra-cluster sharer/owner entries must go with it, or a
+	// later access would pay a cache-to-cache transfer for a copy that no
+	// longer exists (and the stale owner would survive as Shared).
+	base := pg * P.PageSize
+	for q := hc * s.P.ClusterSize; q < (hc+1)*s.P.ClusterSize && q < s.np; q++ {
+		s.caches[q].InvalidateRange(base, int(P.PageSize))
+	}
+	for la := base / uint64(s.LineSize()); la <= (base+P.PageSize-1)/uint64(s.LineSize()); la++ {
+		delete(s.cl[hc].lines, la)
+	}
+	return local
+}
+
 // flush ships the cluster's dirty pages to their home clusters and opens a
 // new interval (see svm.Platform.flush; state is per cluster here).
 func (s *Platform) flush(p int, now uint64) (handler uint64) {
 	cid := s.clusterOf(p)
 	c := s.cl[cid]
-	cnt := s.k.Counters(p)
 	P := s.P.SVM
-	if len(c.dirtyLst) > 0 {
-		log := append([]pageID(nil), c.dirtyLst...)
-		for _, pg := range c.dirtyLst {
-			c.dirty[pg] = false
-			hc := s.homeCluster(pg * P.PageSize)
-			handler += P.NoticeCost
-			s.k.Emit(trace.WriteNotice, p, now+handler, pg, P.NoticeCost)
-			if hc != cid {
-				cnt.DiffsCreated++
-				handler += P.DiffCreate + P.MsgSend
-				s.k.Emit(trace.DiffCreate, p, now+handler, pg, P.DiffCreate)
-				service := P.MsgRecv + P.DiffXfer + P.DiffApply
-				start := s.cl[hc].nic.Acquire(now+handler+P.NetLatency, service)
-				s.k.ChargeHandler(hc*s.P.ClusterSize, service)
-				s.k.Emit(trace.DiffApply, hc*s.P.ClusterSize, start, pg, service)
-				s.k.Emit(trace.NICOccupy, hc, start, pg, service)
-				// The applied diff changes the home copy under the
-				// home cluster's caches.
-				base := pg * P.PageSize
-				for q := hc * s.P.ClusterSize; q < (hc+1)*s.P.ClusterSize && q < s.np; q++ {
-					s.caches[q].InvalidateRange(base, int(P.PageSize))
-				}
-			}
+	var log []pageID
+	// Pages diffed home at an acquire-time invalidation still owe a write
+	// notice in this interval; re-dirtied ones are covered below.
+	for _, pg := range c.pending {
+		if c.dirty[pg] {
+			continue
 		}
-		c.dirtyLst = c.dirtyLst[:0]
-		s.writeLog[cid] = append(s.writeLog[cid], log)
-	} else {
-		s.writeLog[cid] = append(s.writeLog[cid], nil)
+		log = append(log, pg)
+		handler += P.NoticeCost
+		s.k.Emit(trace.WriteNotice, p, now+handler, pg, P.NoticeCost)
+	}
+	c.pending = c.pending[:0]
+	for _, pg := range c.dirtyLst {
+		c.dirty[pg] = false
+		log = append(log, pg)
+		handler += P.NoticeCost
+		s.k.Emit(trace.WriteNotice, p, now+handler, pg, P.NoticeCost)
+		if s.homeCluster(pg*P.PageSize) != cid {
+			handler += s.diffHome(p, cid, pg, now+handler)
+		}
+	}
+	c.dirtyLst = c.dirtyLst[:0]
+	s.writeLog[cid] = append(s.writeLog[cid], log)
+	if c.interval == math.MaxUint32 {
+		// Same hazard as svm.Platform.flush: intervals advance at every
+		// release/barrier, and a wrapped uint32 would corrupt every
+		// vector-clock comparison. Fail loudly instead.
+		panic(&svm.IntervalOverflowError{Node: cid})
 	}
 	c.interval++
 	c.vc[cid] = c.interval
 	return handler
 }
 
+// removeDirty drops pg from the cluster's pending-flush list, preserving
+// order (flush walks it in order, which is part of run determinism).
+func (c *cluster) removeDirty(pg pageID) {
+	for i, d := range c.dirtyLst {
+		if d == pg {
+			c.dirtyLst = append(c.dirtyLst[:i], c.dirtyLst[i+1:]...)
+			return
+		}
+	}
+}
+
+// addPending records pg as diffed-but-unnotified in the open interval,
+// keeping the list duplicate-free (one notice per page per interval).
+func (c *cluster) addPending(pg pageID) {
+	for _, q := range c.pending {
+		if q == pg {
+			return
+		}
+	}
+	c.pending = append(c.pending, pg)
+}
+
 // invalidateUpTo advances cluster cid's knowledge of cluster q to interval
 // upTo; p and now identify the acquiring processor and virtual time for the
 // Invalidate trace events.
-func (s *Platform) invalidateUpTo(cid, q int, upTo uint32, p int, now uint64) int {
+func (s *Platform) invalidateUpTo(cid, q int, upTo uint32, p int, now uint64) (inv int, diffC uint64) {
 	if cid == q {
-		return 0
+		return 0, 0
 	}
 	c := s.cl[cid]
-	inv := 0
 	for i := c.vc[q] + 1; i <= upTo; i++ {
 		if int(i) >= len(s.writeLog[q]) {
 			break
@@ -358,6 +417,17 @@ func (s *Platform) invalidateUpTo(cid, q int, upTo uint32, p int, now uint64) in
 				continue
 			}
 			if c.valid[pg] {
+				if c.dirty[pg] {
+					// Same as svm.Platform.invalidateUpTo: the cluster's
+					// writes must not be lost with the copy, so the diff
+					// is flushed to the home cluster before the page is
+					// dropped; the notice goes out when the interval
+					// closes. Home-cluster pages were skipped above, so
+					// the copy always had a twin.
+					diffC += s.diffHome(p, cid, pg, now+diffC)
+					c.removeDirty(pg)
+					c.addPending(pg)
+				}
 				c.valid[pg] = false
 				c.dirty[pg] = false
 				inv++
@@ -368,7 +438,7 @@ func (s *Platform) invalidateUpTo(cid, q int, upTo uint32, p int, now uint64) in
 	if upTo > c.vc[q] {
 		c.vc[q] = upTo
 	}
-	return inv
+	return inv, diffC
 }
 
 // LockRequest implements sim.Platform: free within a cluster, a message
@@ -397,9 +467,15 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 	}
 	if rvc, ok := s.lockVC[lock]; ok {
 		inv := 0
+		var diff uint64
 		for q := 0; q < s.nc; q++ {
-			inv += s.invalidateUpTo(cid, q, rvc[q], p, now)
+			i, diffC := s.invalidateUpTo(cid, q, rvc[q], p, now+diff)
+			inv += i
+			diff += diffC
 		}
+		// Handler time, charged asynchronously like the release-side
+		// flush — it must not serialize lock handoffs (see internal/svm).
+		s.k.ChargeHandler(p, diff)
 		cost += uint64(inv) * s.P.SVM.InvalCost
 		s.k.Counters(p).Invalidations += uint64(inv)
 	}
@@ -443,12 +519,18 @@ func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
 func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
 	cid := s.clusterOf(p)
 	inv := 0
+	var diff uint64
 	for q := 0; q < s.nc; q++ {
 		if q == cid {
 			continue
 		}
-		inv += s.invalidateUpTo(cid, q, s.cl[q].vc[q], p, releaseTime)
+		// Arrival flushed the cluster's dirty pages, so diffC is zero here
+		// in practice; accounted anyway for symmetry with LockGrant.
+		i, diffC := s.invalidateUpTo(cid, q, s.cl[q].vc[q], p, releaseTime+diff)
+		inv += i
+		diff += diffC
 	}
+	s.k.ChargeHandler(p, diff)
 	s.k.Counters(p).Invalidations += uint64(inv)
 	return s.P.Bus.BarrierLeaf/3 + uint64(inv)*s.P.SVM.InvalCost
 }
