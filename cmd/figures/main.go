@@ -19,6 +19,7 @@
 //	figures -p 16 -scale 1      # processors and a scale multiplier on top
 //	                            # of each app's base problem size
 //	figures -all -workers 8     # at most 8 concurrent simulations
+//	figures -all -store DIR     # persist results; a rerun simulates nothing
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 
 	_ "repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/store"
 )
 
 func main() {
@@ -39,9 +41,19 @@ func main() {
 	scale := flag.Float64("scale", 1, "problem-size multiplier on top of per-app base scales")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations pre-executing the experiment matrix (1 = serial)")
 	check := flag.Bool("check", false, "enable runtime invariant checking on every cell")
+	storeDir := flag.String("store", "", "persistent result store directory; already-computed cells are loaded instead of simulated")
 	flag.Parse()
 
-	r := harness.NewRunner(*np, *scale)
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	r := harness.NewRunnerWith(*np, *scale, harness.NewMemo(st))
 	r.Check = *check
 
 	var figs []harness.Figure
@@ -87,6 +99,10 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+
+	// Cache accounting goes to stderr so stdout stays byte-identical
+	// regardless of -workers and -store.
+	fmt.Fprintf(os.Stderr, "figures: cache: %s\n", r.CacheStats())
 
 	if fails := r.FailedCells(); len(fails) > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d experiment(s) failed:\n", len(fails))

@@ -1,0 +1,183 @@
+// Command loadgen hammers a serve instance with a mix of /run cells and
+// reports throughput and latency percentiles, so the cache and request
+// coalescing are benchmarked rather than assumed. Run it twice against the
+// same store-backed server to measure cold vs warm service:
+//
+//	loadgen -addr http://127.0.0.1:8080 \
+//	        -cells "lu/orig@svm:8,ocean/rows@svm:8,radix/orig@svm:8" \
+//	        -scale 0.25 -c 8 -n 2000
+//
+// Each worker rotates through the cell mix from a different offset, so all
+// cells see traffic under any concurrency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// cell is one /run target of the mix.
+type cell struct {
+	app, version, platform string
+	procs                  int
+}
+
+// parseCells parses "app/version@platform:procs,..." into the cell mix.
+func parseCells(s string) ([]cell, error) {
+	var cells []cell
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		av, rest, ok := strings.Cut(f, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad cell %q (want app/version@platform:procs)", f)
+		}
+		app, version, ok := strings.Cut(av, "/")
+		if !ok {
+			return nil, fmt.Errorf("bad cell %q: missing /version", f)
+		}
+		platform, procsStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad cell %q: missing :procs", f)
+		}
+		procs, err := strconv.Atoi(procsStr)
+		if err != nil || procs < 1 {
+			return nil, fmt.Errorf("bad cell %q: bad processor count %q", f, procsStr)
+		}
+		cells = append(cells, cell{app, version, platform, procs})
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("empty cell mix")
+	}
+	return cells, nil
+}
+
+// percentile returns the p-th percentile (0..100) of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "serve base URL")
+	cellsFlag := flag.String("cells", "lu/orig@svm:8,ocean/rows@svm:8,radix/orig@svm:8", "comma-separated cell mix: app/version@platform:procs")
+	scale := flag.Float64("scale", 1, "problem size scale for every cell")
+	conc := flag.Int("c", 8, "concurrent client workers")
+	n := flag.Int("n", 1000, "total requests to issue")
+	flag.Parse()
+
+	cells, err := parseCells(*cellsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	urls := make([]string, len(cells))
+	for i, c := range cells {
+		q := url.Values{}
+		q.Set("app", c.app)
+		q.Set("version", c.version)
+		q.Set("platform", c.platform)
+		q.Set("p", strconv.Itoa(c.procs))
+		q.Set("scale", strconv.FormatFloat(*scale, 'g', -1, 64))
+		urls[i] = *addr + "/run?" + q.Encode()
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc}}
+	type sample struct {
+		d    time.Duration
+		code int
+		err  bool
+	}
+	samples := make([]sample, *n)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= *n {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				// Rotate through the mix from a per-worker offset.
+				u := urls[(i+w)%len(urls)]
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				d := time.Since(t0)
+				if err != nil {
+					samples[i] = sample{d, 0, true}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				samples[i] = sample{d, resp.StatusCode, false}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	codes := map[int]int{}
+	var errs int
+	lats := make([]time.Duration, 0, *n)
+	for _, s := range samples {
+		if s.err {
+			errs++
+			continue
+		}
+		codes[s.code]++
+		if s.code == 200 {
+			lats = append(lats, s.d)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	fmt.Printf("loadgen: %d requests, %d workers, %d cells, %.2fs\n", *n, *conc, len(cells), elapsed.Seconds())
+	fmt.Printf("  throughput: %.1f req/s\n", float64(*n)/elapsed.Seconds())
+	var codeKeys []int
+	for c := range codes {
+		codeKeys = append(codeKeys, c)
+	}
+	sort.Ints(codeKeys)
+	for _, c := range codeKeys {
+		fmt.Printf("  status %d: %d\n", c, codes[c])
+	}
+	if errs > 0 {
+		fmt.Printf("  transport errors: %d\n", errs)
+	}
+	if len(lats) > 0 {
+		fmt.Printf("  latency p50=%s p90=%s p99=%s max=%s\n",
+			percentile(lats, 50), percentile(lats, 90), percentile(lats, 99), lats[len(lats)-1])
+	}
+	if codes[200] == 0 {
+		os.Exit(1)
+	}
+}

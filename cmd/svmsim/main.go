@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -37,6 +38,7 @@ func main() {
 	sample := flag.Uint64("sample", 0, "sample the breakdown every N cycles into the trace (default 100000 with -trace)")
 	jsonOut := flag.Bool("json", false, "print the result as machine-readable JSON instead of tables")
 	check := flag.Bool("check", false, "enable runtime invariant checking (scheduler, protocol state, accounting)")
+	storeDir := flag.String("store", "", "persistent result store directory; a cached cell is loaded instead of simulated (ignored with -trace/-sample/-hot)")
 	flag.Parse()
 
 	if *list {
@@ -73,13 +75,28 @@ func main() {
 		spec.SampleInterval = *sample
 	}
 
+	// Execution path: -hot needs the profiling hook (never cached), and
+	// trace-carrying specs bypass the cache inside Memo.Run; everything
+	// else goes through the memo so -store can answer without simulating.
+	var memo *harness.Memo
+	if *storeDir != "" {
+		st, serr := store.Open(*storeDir)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "svmsim:", serr)
+			os.Exit(1)
+		}
+		memo = harness.NewMemo(st)
+	} else {
+		memo = harness.NewMemo(nil)
+	}
+
 	var run *stats.Run
 	var report string
 	var err error
 	if *hot {
 		run, report, err = harness.ExecuteProfiled(spec)
 	} else {
-		run, err = harness.Execute(spec)
+		run, err = memo.Run(spec)
 	}
 	if chrome != nil {
 		if cerr := chrome.Close(); cerr != nil && err == nil {
@@ -101,7 +118,7 @@ func main() {
 	var spFactor float64
 	if *speedup {
 		a, _ := core.Lookup(*app)
-		base, err := harness.Execute(harness.Spec{
+		base, err := memo.Run(harness.Spec{
 			App: *app, Version: a.Versions()[0].Name, Platform: *plat,
 			NumProcs: 1, Scale: *scale,
 		})

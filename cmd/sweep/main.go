@@ -10,6 +10,7 @@
 // completes; failures are listed on stderr and the exit code is 1.
 //
 //	sweep -app ocean -version rows -platform svm -procs 1,2,4,8,16,32
+//	sweep -app ocean -version rows -store DIR   # incremental: cached cells are not re-simulated
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/platform"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // cell is one experiment of the sweep matrix; np == 0 marks the platform's
@@ -42,15 +44,24 @@ func main() {
 	procs := flag.String("procs", "1,2,4,8,16", "comma-separated processor counts")
 	scale := flag.Float64("scale", 1, "problem size scale factor")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	storeDir := flag.String("store", "", "persistent result store directory; already-computed cells are loaded instead of simulated")
 	flag.Parse()
 
+	// -procs must be positive integers with no duplicates: a dup would
+	// either waste a run or (worse) silently render the same column twice.
 	var counts []int
+	seen := map[int]bool{}
 	for _, f := range strings.Split(*procs, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "sweep: bad processor count %q\n", f)
+			fmt.Fprintf(os.Stderr, "sweep: bad processor count %q (want a positive integer)\n", strings.TrimSpace(f))
 			os.Exit(2)
 		}
+		if seen[n] {
+			fmt.Fprintf(os.Stderr, "sweep: duplicate processor count %d in -procs %q\n", n, *procs)
+			os.Exit(2)
+		}
+		seen[n] = true
 		counts = append(counts, n)
 	}
 	plats := platform.Names
@@ -66,6 +77,19 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+	// All executions flow through one spec-keyed memo, so duplicate cells
+	// coalesce and, with -store, completed cells survive across sweeps.
+	memo := harness.NewMemo(st)
+
 	var mu sync.Mutex
 	runs := map[cell]*stats.Run{}
 	errs := map[cell]error{}
@@ -74,17 +98,17 @@ func main() {
 		if c.np == 0 {
 			// Baseline: uniprocessor original version. Barnes names
 			// its original differently.
-			run, err := harness.Execute(harness.Spec{
+			run, err := memo.Run(harness.Spec{
 				App: *app, Version: "orig", Platform: c.plat, NumProcs: 1, Scale: *scale,
 			})
 			if err != nil {
-				run, err = harness.Execute(harness.Spec{
+				run, err = memo.Run(harness.Spec{
 					App: *app, Version: "splash", Platform: c.plat, NumProcs: 1, Scale: *scale,
 				})
 			}
 			return run, err
 		}
-		return harness.Execute(harness.Spec{
+		return memo.Run(harness.Spec{
 			App: *app, Version: *version, Platform: c.plat, NumProcs: c.np, Scale: *scale,
 		})
 	}
@@ -135,6 +159,8 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	fmt.Fprintf(os.Stderr, "sweep: cache: %s\n", memo.Stats())
 
 	if len(errs) > 0 {
 		var lines []string

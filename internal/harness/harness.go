@@ -9,9 +9,7 @@ package harness
 import (
 	"fmt"
 	"os"
-	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -205,6 +203,10 @@ func execute(s Spec, profile bool) (*stats.Run, string, core.Instance, error) {
 // is safe for concurrent use: each distinct experiment executes exactly once
 // (singleflight — concurrent requests for the same cell wait for the first),
 // and failures are memoized alongside results so a bad cell is not retried.
+//
+// All execution flows through a Memo, which can carry a persistent store
+// tier (figures/sweep -store, cmd/serve) and can be shared between runners
+// so they cache and coalesce together.
 type Runner struct {
 	NumProcs int
 	Scale    float64
@@ -213,9 +215,7 @@ type Runner struct {
 	// it is part of the memo key.
 	Check bool
 
-	mu   sync.Mutex
-	t1   map[string]*memoEntry // app@platform -> uniprocessor orig run
-	runs map[string]*memoEntry // spec memo key -> run
+	memo *Memo
 }
 
 // memoEntry is one singleflight slot: the goroutine that claims a key
@@ -226,99 +226,59 @@ type memoEntry struct {
 	err  error
 }
 
-// NewRunner creates a Runner for the given processor count and scale.
+// NewRunner creates a Runner for the given processor count and scale, with
+// a private in-memory cache.
 func NewRunner(np int, scale float64) *Runner {
-	return &Runner{
-		NumProcs: np,
-		Scale:    scale,
-		t1:       map[string]*memoEntry{},
-		runs:     map[string]*memoEntry{},
-	}
+	return NewRunnerWith(np, scale, NewMemo(nil))
 }
 
-// claim returns the memo entry for key in m, creating it if absent; the
-// second result reports whether the caller claimed it and must execute the
-// experiment and close done.
-func (r *Runner) claim(m map[string]*memoEntry, key string) (*memoEntry, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if e, ok := m[key]; ok {
-		return e, false
-	}
-	e := &memoEntry{done: make(chan struct{})}
-	m[key] = e
-	return e, true
+// NewRunnerWith creates a Runner over an existing Memo, sharing its cache
+// (and persistent store, if any) with every other user of that memo.
+func NewRunnerWith(np int, scale float64, memo *Memo) *Runner {
+	return &Runner{NumProcs: np, Scale: scale, memo: memo}
 }
+
+// Memo returns the cache this runner executes through.
+func (r *Runner) Memo() *Memo { return r.memo }
+
+// CacheStats returns the cumulative cache counters of this runner's memo
+// (shared with other runners over the same memo).
+func (r *Runner) CacheStats() CacheStats { return r.memo.Stats() }
 
 // Run executes (and memoizes) an experiment for this runner's processor
 // count and scale.
 func (r *Runner) Run(app, version, plat string) (*stats.Run, error) {
-	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app), Check: r.Check}
-	e, mine := r.claim(r.runs, s.memoKey())
-	if mine {
-		e.run, e.err = Execute(s)
-		close(e.done)
-	}
-	<-e.done
-	return e.run, e.err
+	return r.memo.Run(Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app), Check: r.Check})
 }
 
 // Record inserts an externally-executed run into the memo cache (used by the
 // CLI to avoid re-running the experiment it just printed).
 func (r *Runner) Record(app, version, plat string, run *stats.Run) {
-	s := Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app), Check: r.Check}
-	e := &memoEntry{done: make(chan struct{}), run: run}
-	close(e.done)
-	r.mu.Lock()
-	r.runs[s.memoKey()] = e
-	r.mu.Unlock()
+	r.memo.Record(Spec{App: app, Version: version, Platform: plat, NumProcs: r.NumProcs, Scale: r.scaleFor(app), Check: r.Check}, run)
 }
 
 // Baseline returns the uniprocessor execution time of the original version
 // of app on plat (the paper's speedup denominator source). Baselines are
-// deduplicated singleflight-style, so a parallel figure run executes each
-// one exactly once no matter how many cells divide by it.
+// memoized like any other spec, so a parallel figure run executes each one
+// exactly once no matter how many cells divide by it.
 func (r *Runner) Baseline(app, plat string) (uint64, error) {
-	e, mine := r.claim(r.t1, app+"@"+plat)
-	if mine {
-		if a, err := core.Lookup(app); err != nil {
-			e.err = err
-		} else {
-			origName := a.Versions()[0].Name
-			e.run, e.err = Execute(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app), Check: r.Check})
-		}
-		close(e.done)
+	a, err := core.Lookup(app)
+	if err != nil {
+		return 0, err
 	}
-	<-e.done
-	if e.err != nil {
-		return 0, e.err
+	origName := a.Versions()[0].Name
+	run, err := r.memo.Run(Spec{App: app, Version: origName, Platform: plat, NumProcs: 1, Scale: r.scaleFor(app), Check: r.Check})
+	if err != nil {
+		return 0, err
 	}
-	return e.run.EndTime, nil
+	return run.EndTime, nil
 }
 
 // FailedCells returns a sorted, one-line-per-cell description of every
 // memoized execution that ended in an error — the experiments a figure run
-// rendered as error rows. Empty means every cell succeeded.
-func (r *Runner) FailedCells() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out []string
-	collect := func(m map[string]*memoEntry, prefix string) {
-		for key, e := range m {
-			select {
-			case <-e.done:
-				if e.err != nil {
-					out = append(out, prefix+key+": "+firstLine(e.err.Error()))
-				}
-			default: // still executing; not a result yet
-			}
-		}
-	}
-	collect(r.runs, "")
-	collect(r.t1, "baseline ")
-	sort.Strings(out)
-	return out
-}
+// rendered as error rows (uniprocessor baselines included, as their P=1
+// specs). Empty means every cell succeeded.
+func (r *Runner) FailedCells() []string { return r.memo.Failed() }
 
 // firstLine truncates multi-line error text (deadlock state dumps) to its
 // first line for one-row-per-cell reports.

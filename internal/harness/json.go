@@ -98,8 +98,13 @@ func errorKind(err error) string {
 		de *sim.DeadlockError
 		ie *sim.InvariantError
 		ve *VerifyError
+		se *StoredError
 	)
 	switch {
+	case errors.As(err, &se):
+		// A failure replayed from the persistent store keeps its original
+		// kind even though the concrete error type is gone.
+		return se.Kind
 	case errors.As(err, &pe):
 		return "panic"
 	case errors.As(err, &de):

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	fpOnce sync.Once
+	fp     string
+)
+
+// Fingerprint identifies the build of the running binary, for isolating
+// persisted results computed by different code. Preference order:
+//
+//  1. "vcs:<revision>" when the binary was built from a clean VCS checkout
+//     — every binary built from the same commit shares the cache;
+//  2. "bin:<sha256 of the executable>" otherwise (dirty trees, `go test`
+//     binaries) — any rebuild gets a fresh namespace, which is exactly the
+//     conservative behavior wanted while the source is changing;
+//  3. "mod:<version>" for module-versioned builds without an executable
+//     path (rare: stripped environments);
+//  4. "unversioned" as a last resort.
+//
+// Computed once per process: hashing the executable costs one file read.
+func Fingerprint() string {
+	fpOnce.Do(func() { fp = computeFingerprint() })
+	return fp
+}
+
+func computeFingerprint() string {
+	bi, biOK := debug.ReadBuildInfo()
+	if biOK {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev != "" && modified == "false" {
+			return "vcs:" + rev
+		}
+	}
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return "bin:" + hex.EncodeToString(h.Sum(nil))[:32]
+			}
+		}
+	}
+	if biOK && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return "mod:" + bi.Main.Version
+	}
+	return "unversioned"
+}
