@@ -1,0 +1,55 @@
+// Guards for the benchmark harness itself: benchmark iterations must
+// actually simulate, not replay the memo. runSpeedup once hoisted a single
+// harness.Runner out of the b.N loop, so iterations 2..N measured a cache
+// lookup — the kernel could have regressed 10x without the benchmark
+// noticing. These tests pin the fixed behaviour.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// TestRunnerMemoServesRepeats documents the hazard: a reused Runner answers
+// a repeated Speedup call entirely from its memo, executing zero
+// simulations. (This is the desired behaviour for figures — and exactly why
+// a benchmark loop must not share a Runner across iterations.)
+func TestRunnerMemoServesRepeats(t *testing.T) {
+	execs := 0
+	memo := harness.NewMemo(nil)
+	memo.Exec = func(harness.Spec) (*stats.Run, error) {
+		execs++
+		return &stats.Run{EndTime: 1000}, nil
+	}
+	r := harness.NewRunnerWith(16, benchScale, memo)
+	if _, err := r.Speedup("lu", "orig", "svm"); err != nil {
+		t.Fatal(err)
+	}
+	cold := execs
+	if cold == 0 {
+		t.Fatal("cold Speedup executed nothing")
+	}
+	if _, err := r.Speedup("lu", "orig", "svm"); err != nil {
+		t.Fatal(err)
+	}
+	if execs != cold {
+		t.Fatalf("warm Speedup on a shared Runner executed %d extra simulations; memo should have served it", execs-cold)
+	}
+}
+
+// TestBenchmarkIterationsExecute pins the fix: every speedupIter call uses a
+// fresh Runner, so back-to-back iterations each perform real simulations
+// (speedupIter itself fails if its memo reports zero executions).
+func TestBenchmarkIterationsExecute(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		s, err := speedupIter("lu", "orig", "svm")
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if s <= 0 {
+			t.Fatalf("iteration %d: speedup %v", i, s)
+		}
+	}
+}

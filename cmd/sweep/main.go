@@ -37,6 +37,26 @@ type cell struct {
 	plat string
 }
 
+// parseProcs parses a -procs flag value: comma-separated positive integers
+// with no duplicates. A dup would either waste a run or (worse) silently
+// render the same column twice.
+func parseProcs(s string) ([]int, error) {
+	var counts []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad processor count %q (want a positive integer)", strings.TrimSpace(f))
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate processor count %d in -procs %q", n, s)
+		}
+		seen[n] = true
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
 func main() {
 	app := flag.String("app", "ocean", "application name")
 	version := flag.String("version", "rows", "application version")
@@ -47,22 +67,10 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store directory; already-computed cells are loaded instead of simulated")
 	flag.Parse()
 
-	// -procs must be positive integers with no duplicates: a dup would
-	// either waste a run or (worse) silently render the same column twice.
-	var counts []int
-	seen := map[int]bool{}
-	for _, f := range strings.Split(*procs, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "sweep: bad processor count %q (want a positive integer)\n", strings.TrimSpace(f))
-			os.Exit(2)
-		}
-		if seen[n] {
-			fmt.Fprintf(os.Stderr, "sweep: duplicate processor count %d in -procs %q\n", n, *procs)
-			os.Exit(2)
-		}
-		seen[n] = true
-		counts = append(counts, n)
+	counts, err := parseProcs(*procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
 	}
 	plats := platform.Names
 	if *plat != "" {

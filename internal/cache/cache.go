@@ -5,6 +5,18 @@
 // 512 KB 2-way L2 with 32 B lines; the DSM nodes a 16 KB L1 and a 1 MB 4-way
 // L2 with 64 B lines; the SGI Challenge a 16 KB L1 and 1 MB L2 with 128 B
 // lines.
+//
+// Tag-array layout: each level keeps its ways in ONE contiguous, set-major
+// slice of 16-byte way records (tag, LRU stamp, MESI state together). Every
+// simulated memory reference of every application flows through lookup, so
+// this layout is the simulator's hottest data structure: the earlier
+// slices-per-set representation (three separately allocated slices per set)
+// cost three dependent pointer loads into scattered 2-4 element arrays per
+// probe and dominated the CPU profile of `figures -all`. The flat layout is
+// one predictable indexed load per way, and building a hierarchy is two
+// allocations instead of tens of thousands. The replacement decisions (way
+// scan order, LRU victim choice) are bit-for-bit those of the old layout, so
+// simulated timing is unchanged.
 package cache
 
 import "fmt"
@@ -53,17 +65,23 @@ const (
 	Miss // must go to memory / coherence protocol
 )
 
-type set struct {
-	tags  []uint64 // line address (addr / line); 0 means empty (addr 0 unused)
-	state []State
-	lru   []uint32
+// way is one tag-array entry. The three fields of a way live in one 16-byte
+// record so a lookup touches a single cache line of the HOST machine for the
+// whole set (at the simulated associativities of 1-4).
+type way struct {
+	tag   uint64 // line address (addr / line); only meaningful when st != Invalid
+	lru   uint32
+	st    State
+	_pad1 uint8
+	_pad2 uint16
 }
 
+// level is one cache level: nSets*assoc ways, set-major — set si occupies
+// ways[si*assoc : (si+1)*assoc].
 type level struct {
-	sets     []set
-	setShift uint
-	setMask  uint64
-	assoc    int
+	ways    []way
+	setMask uint64
+	assoc   int
 }
 
 func newLevel(size, assoc, line int) *level {
@@ -72,54 +90,55 @@ func newLevel(size, assoc, line int) *level {
 	if nSets == 0 || nSets&(nSets-1) != 0 {
 		panic(fmt.Sprintf("cache: %d sets is not a power of two", nSets))
 	}
-	l := &level{sets: make([]set, nSets), assoc: assoc, setMask: uint64(nSets - 1)}
-	for i := range l.sets {
-		l.sets[i] = set{
-			tags:  make([]uint64, assoc),
-			state: make([]State, assoc),
-			lru:   make([]uint32, assoc),
-		}
+	return &level{
+		ways:    make([]way, nSets*assoc),
+		assoc:   assoc,
+		setMask: uint64(nSets - 1),
 	}
-	return l
 }
 
-func (l *level) lookup(lineAddr uint64) (si, wi int, ok bool) {
-	si = int(lineAddr & l.setMask)
-	s := &l.sets[si]
-	for w := 0; w < l.assoc; w++ {
-		if s.state[w] != Invalid && s.tags[w] == lineAddr {
-			return si, w, true
+// lookup returns the base index of lineAddr's set and the way index holding
+// it (wi == -1 when absent). Ways are scanned in ascending order, as the
+// previous layout did; the scan order is part of run determinism because it
+// decides LRU ties.
+func (l *level) lookup(lineAddr uint64) (base, wi int, ok bool) {
+	base = int(lineAddr&l.setMask) * l.assoc
+	ws := l.ways[base : base+l.assoc]
+	for w := range ws {
+		if ws[w].st != Invalid && ws[w].tag == lineAddr {
+			return base, w, true
 		}
 	}
-	return si, -1, false
+	return base, -1, false
 }
 
 // insert places lineAddr in its set with the given state, evicting LRU if
 // needed. Returns the evicted line address and its state; evState is Invalid
-// when nothing was evicted.
+// when nothing was evicted. Victim selection (first invalid way, else lowest
+// LRU stamp, ties to the lowest way index) matches the previous layout
+// exactly.
 func (l *level) insert(lineAddr uint64, st State, clock uint32) (evicted uint64, evState State) {
-	si := int(lineAddr & l.setMask)
-	s := &l.sets[si]
-	// Prefer an invalid way.
+	base := int(lineAddr&l.setMask) * l.assoc
+	ws := l.ways[base : base+l.assoc]
 	victim := 0
 	best := ^uint32(0)
-	for w := 0; w < l.assoc; w++ {
-		if s.state[w] == Invalid {
+	for w := range ws {
+		if ws[w].st == Invalid {
 			victim = w
-			best = 0
 			break
 		}
-		if s.lru[w] < best {
-			best = s.lru[w]
+		if ws[w].lru < best {
+			best = ws[w].lru
 			victim = w
 		}
 	}
-	if s.state[victim] != Invalid {
-		evicted, evState = s.tags[victim], s.state[victim]
+	v := &ws[victim]
+	if v.st != Invalid {
+		evicted, evState = v.tag, v.st
 	}
-	s.tags[victim] = lineAddr
-	s.state[victim] = st
-	s.lru[victim] = clock
+	v.tag = lineAddr
+	v.st = st
+	v.lru = clock
 	return evicted, evState
 }
 
@@ -166,17 +185,15 @@ func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
 // Probe reports the level at which the line containing addr currently
 // resides and its L2 state, without modifying the cache.
 func (h *Hierarchy) Probe(addr uint64) (Level, State) {
-	la := h.LineOf(addr)
+	la := addr >> h.lineShift
 	if _, _, ok := h.l1.lookup(la); ok {
-		_, w2, ok2 := h.l2.lookup(la)
-		if ok2 {
-			si2 := int(la & h.l2.setMask)
-			return L1Hit, h.l2.sets[si2].state[w2]
+		if b2, w2, ok2 := h.l2.lookup(la); ok2 {
+			return L1Hit, h.l2.ways[b2+w2].st
 		}
 		return L1Hit, Exclusive
 	}
-	if si, w, ok := h.l2.lookup(la); ok {
-		return L2Hit, h.l2.sets[si].state[w]
+	if b2, w2, ok := h.l2.lookup(la); ok {
+		return L2Hit, h.l2.ways[b2+w2].st
 	}
 	return Miss, Invalid
 }
@@ -192,29 +209,28 @@ func (h *Hierarchy) Probe(addr uint64) (Level, State) {
 func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, State) {
 	h.clock++
 	h.Accesses++
-	la := h.LineOf(addr)
-	if si, w, ok := h.l1.lookup(la); ok {
-		h.l1.sets[si].lru[w] = h.clock
+	la := addr >> h.lineShift
+	if b1, w1, ok := h.l1.lookup(la); ok {
+		h.l1.ways[b1+w1].lru = h.clock
 		// L1 is write-through: line state lives in L2.
-		if si2, w2, ok2 := h.l2.lookup(la); ok2 {
-			s := &h.l2.sets[si2]
-			s.lru[w2] = h.clock
-			if write && s.state[w2] == Exclusive {
-				s.state[w2] = Modified
+		if b2, w2, ok2 := h.l2.lookup(la); ok2 {
+			w := &h.l2.ways[b2+w2]
+			w.lru = h.clock
+			if write && w.st == Exclusive {
+				w.st = Modified
 			}
-			return L1Hit, s.state[w2]
+			return L1Hit, w.st
 		}
 		return L1Hit, Exclusive
 	}
 	h.L1Misses++
-	if si, w, ok := h.l2.lookup(la); ok {
-		s := &h.l2.sets[si]
-		s.lru[w] = h.clock
-		st := s.state[w]
-		if write && st == Exclusive {
-			st = Modified
-			s.state[w] = st
+	if b2, w2, ok := h.l2.lookup(la); ok {
+		w := &h.l2.ways[b2+w2]
+		w.lru = h.clock
+		if write && w.st == Exclusive {
+			w.st = Modified
 		}
+		st := w.st
 		h.l1.insert(la, st, h.clock)
 		return L2Hit, st
 	}
@@ -227,8 +243,8 @@ func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, Sta
 	}
 	if ev, evSt := h.l2.insert(la, st, h.clock); evSt != Invalid {
 		// Inclusion: a line leaving L2 must also leave L1.
-		if si, w, ok := h.l1.lookup(ev); ok {
-			h.l1.sets[si].state[w] = Invalid
+		if b1, w1, ok := h.l1.lookup(ev); ok {
+			h.l1.ways[b1+w1].st = Invalid
 		}
 		if h.OnL2Evict != nil {
 			h.OnL2Evict(ev, evSt)
@@ -238,21 +254,72 @@ func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, Sta
 	return Miss, st
 }
 
+// HitAccess is Probe followed by Access, fused into one tag-array walk, for
+// the platforms' FastAccess hot path: it performs the access ONLY if the
+// line hits and (for writes) the MESI state grants write permission
+// (Modified or Exclusive). On a miss or an insufficient state it mutates
+// nothing — not even the LRU clock — exactly as the unfused Probe-then-
+// return-false path did, so SlowAccess still performs the one and only
+// Access of the reference. The mutations of the hit path (clock, counters,
+// LRU stamps, the silent Exclusive->Modified write upgrade) are identical to
+// Access's, so fused and unfused runs are cycle-identical.
+func (h *Hierarchy) HitAccess(addr uint64, write bool) (Level, State, bool) {
+	la := addr >> h.lineShift
+	if b1, w1, ok := h.l1.lookup(la); ok {
+		// L1 hit; authoritative state lives in L2 (write-through L1).
+		b2, w2, ok2 := h.l2.lookup(la)
+		st := Exclusive
+		if ok2 {
+			st = h.l2.ways[b2+w2].st
+		}
+		if write && st != Modified && st != Exclusive {
+			return L1Hit, st, false
+		}
+		h.clock++
+		h.Accesses++
+		h.l1.ways[b1+w1].lru = h.clock
+		if ok2 {
+			w := &h.l2.ways[b2+w2]
+			w.lru = h.clock
+			if write && w.st == Exclusive {
+				w.st = Modified
+			}
+			return L1Hit, w.st, true
+		}
+		return L1Hit, Exclusive, true
+	}
+	b2, w2, ok := h.l2.lookup(la)
+	if !ok {
+		return Miss, Invalid, false
+	}
+	st := h.l2.ways[b2+w2].st
+	if write && st != Modified && st != Exclusive {
+		return L2Hit, st, false
+	}
+	h.clock++
+	h.Accesses++
+	h.L1Misses++
+	w := &h.l2.ways[b2+w2]
+	w.lru = h.clock
+	if write && w.st == Exclusive {
+		w.st = Modified
+	}
+	st = w.st
+	h.l1.insert(la, st, h.clock)
+	return L2Hit, st, true
+}
+
 // SetState forces the L2 (and implicitly L1) state of the line containing
 // addr; used by the coherence protocols for upgrades and downgrades. A
 // transition to Invalid removes the line from both levels.
 func (h *Hierarchy) SetState(addr uint64, st State) {
-	la := h.LineOf(addr)
-	if si, w, ok := h.l2.lookup(la); ok {
-		if st == Invalid {
-			h.l2.sets[si].state[w] = Invalid
-		} else {
-			h.l2.sets[si].state[w] = st
-		}
+	la := addr >> h.lineShift
+	if b2, w2, ok := h.l2.lookup(la); ok {
+		h.l2.ways[b2+w2].st = st
 	}
-	if si, w, ok := h.l1.lookup(la); ok {
+	if b1, w1, ok := h.l1.lookup(la); ok {
 		if st == Invalid {
-			h.l1.sets[si].state[w] = Invalid
+			h.l1.ways[b1+w1].st = Invalid
 		}
 	}
 }
@@ -278,12 +345,9 @@ func (h *Hierarchy) InvalidateRange(addr uint64, n int) {
 // (deterministic). Platform invariant checkers use it to cross-check cache
 // contents against directory or bus sharer state.
 func (h *Hierarchy) LinesL2(f func(lineAddr uint64, st State)) {
-	for i := range h.l2.sets {
-		s := &h.l2.sets[i]
-		for w := range s.state {
-			if s.state[w] != Invalid {
-				f(s.tags[w], s.state[w])
-			}
+	for i := range h.l2.ways {
+		if w := &h.l2.ways[i]; w.st != Invalid {
+			f(w.tag, w.st)
 		}
 	}
 }
@@ -293,16 +357,14 @@ func (h *Hierarchy) LinesL2(f func(lineAddr uint64, st State)) {
 // L1 on L2 eviction; a violation means a protocol path mutated one level
 // without the other.
 func (h *Hierarchy) CheckInclusion() error {
-	for i := range h.l1.sets {
-		s := &h.l1.sets[i]
-		for w := range s.state {
-			if s.state[w] == Invalid {
-				continue
-			}
-			if _, _, ok := h.l2.lookup(s.tags[w]); !ok {
-				return fmt.Errorf("cache: L1 line %#x (state %s) not present in L2 (inclusion violated)",
-					s.tags[w], s.state[w])
-			}
+	for i := range h.l1.ways {
+		w := &h.l1.ways[i]
+		if w.st == Invalid {
+			continue
+		}
+		if _, _, ok := h.l2.lookup(w.tag); !ok {
+			return fmt.Errorf("cache: L1 line %#x (state %s) not present in L2 (inclusion violated)",
+				w.tag, w.st)
 		}
 	}
 	return nil
@@ -311,10 +373,8 @@ func (h *Hierarchy) CheckInclusion() error {
 // Flush empties both levels (used between simulated runs).
 func (h *Hierarchy) Flush() {
 	for _, l := range []*level{h.l1, h.l2} {
-		for i := range l.sets {
-			for w := range l.sets[i].state {
-				l.sets[i].state[w] = Invalid
-			}
+		for i := range l.ways {
+			l.ways[i].st = Invalid
 		}
 	}
 }

@@ -116,20 +116,15 @@ func (d *Platform) entry(la uint64) *dirEntry {
 }
 
 // FastAccess implements sim.Platform: cache hits with sufficient MESI rights
-// are purely local.
+// are purely local. HitAccess fuses the probe and the access into one
+// tag-array walk, refusing (mutating nothing) on a miss or a write without
+// Modified/Exclusive rights; a write to an Exclusive line silently upgrades
+// to Modified in the cache — the directory already records p as exclusive
+// owner.
 func (d *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
-	h := d.caches[p]
-	lvl, st := h.Probe(addr)
-	if lvl == cache.Miss {
-		return 0, false
-	}
-	if write && st != cache.Modified && st != cache.Exclusive {
-		return 0, false // upgrade needed
-	}
-	h.Access(addr, write, st)
-	if write && st == cache.Exclusive {
-		// Silent E->M upgrade; the directory already records p as
-		// exclusive owner.
+	lvl, _, ok := d.caches[p].HitAccess(addr, write)
+	if !ok {
+		return 0, false // miss, or upgrade needed
 	}
 	if lvl == cache.L1Hit {
 		return 0, true

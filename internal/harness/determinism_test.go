@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOptimizedKernelByteIdentical is the regression net under the hot-path
+// optimizations (flat cache tag arrays, fused hit-access, page-shift math,
+// pooled release vector clocks): a representative figure cell simulated
+// twice must render byte-identical JSON, and enabling the runtime invariant
+// checker — which sweeps but must never mutate protocol state — must not
+// change a byte either. Any optimization that reorders a mutation, skips an
+// LRU update, or shares state it should copy shows up here as a diff.
+func TestOptimizedKernelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		// The cell below is a full 16-processor SVM simulation (~seconds);
+		// the -short tier is covered by the claims suite exercising the
+		// same kernel via memoized cells.
+		t.Skip("full determinism cell skipped in -short")
+	}
+	spec := Spec{App: "ocean", Version: "rows", Platform: "svm", NumProcs: 16, Scale: BaseScale["ocean"] * 0.5}
+
+	render := func(s Spec) []byte {
+		t.Helper()
+		run, err := Execute(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.label(), err)
+		}
+		out, err := RunJSON(s, run, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := render(spec)
+	second := render(spec)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two runs of %s differ:\n%s", spec.label(), firstDiff(first, second))
+	}
+	checked := spec
+	checked.Check = true
+	withCheck := render(checked)
+	if !bytes.Equal(first, withCheck) {
+		t.Fatalf("run of %s with Check enabled differs from unchecked run:\n%s", spec.label(), firstDiff(first, withCheck))
+	}
+}
+
+// firstDiff renders the first differing region of two byte slices for a
+// readable failure message.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 40
+			if hi > n {
+				hi = n
+			}
+			return "first: ..." + string(a[lo:hi]) + "...\nsecond: ..." + string(b[lo:hi]) + "..."
+		}
+	}
+	return "lengths differ"
+}

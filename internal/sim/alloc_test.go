@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// nullPlatform is the minimal Platform for kernel-only tests.
+type nullPlatform struct{}
+
+func (nullPlatform) Name() string                                          { return "null" }
+func (nullPlatform) Attach(*Kernel)                                        {}
+func (nullPlatform) FastAccess(int, uint64, uint64, bool) (uint64, bool)   { return 0, true }
+func (nullPlatform) SlowAccess(int, uint64, uint64, bool) AccessCost       { return AccessCost{} }
+func (nullPlatform) LockRequest(int, uint64, int) uint64                   { return 0 }
+func (nullPlatform) LockGrant(int, uint64, int, int) uint64                { return 0 }
+func (nullPlatform) LockRelease(int, uint64, int) (uint64, uint64, uint64) { return 0, 0, 0 }
+func (nullPlatform) BarrierArrive(int, uint64) (uint64, uint64)            { return 0, 0 }
+func (nullPlatform) BarrierRelease([]uint64, int) uint64                   { return 0 }
+func (nullPlatform) BarrierDepart(int, uint64) uint64                      { return 0 }
+
+// TestAllocFreeEmitNilSink pins the tracing-off Emit path at zero
+// allocations: every protocol event site calls Emit unconditionally, so with
+// no sink installed the call must cost one nil check and nothing else.
+func TestAllocFreeEmitNilSink(t *testing.T) {
+	k := New(nullPlatform{}, Config{NumProcs: 1})
+	if k.tr != nil {
+		t.Fatal("expected no trace sink outside a run")
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		k.Emit(trace.PageFault, 0, 1, 2, 3)
+		k.Emit(trace.BusTxn, 0, 4, 5, 6)
+	}); n != 0 {
+		t.Fatalf("nil-sink Emit allocates %v per run; want 0", n)
+	}
+}

@@ -108,6 +108,10 @@ type Kernel struct {
 	yield   chan *Proc
 	horizon uint64 // clock of the next-min ready proc while one runs
 
+	// lineSize caches the platform's range-access granularity so rangeAccess
+	// does not repeat an interface assertion per call.
+	lineSize uint64
+
 	pendingHandler []uint64 // handler debt charged by remote protocol work
 	locksHeld      []int    // nesting depth of locks held per proc
 	locks          map[int]*lockState
@@ -145,6 +149,10 @@ func New(plat Platform, cfg Config) *Kernel {
 		pendingHandler: make([]uint64, cfg.NumProcs),
 		locksHeld:      make([]int, cfg.NumProcs),
 		locks:          map[int]*lockState{},
+	}
+	k.lineSize = 32
+	if la, ok := plat.(interface{ LineSize() int }); ok {
+		k.lineSize = uint64(la.LineSize())
 	}
 	k.bar.arrivals = make([]uint64, cfg.NumProcs)
 	k.bar.starts = make([]uint64, cfg.NumProcs)

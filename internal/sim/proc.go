@@ -129,10 +129,7 @@ func (p *Proc) rangeAccess(addr uint64, n int, write bool) {
 	if n <= 0 {
 		return
 	}
-	line := uint64(32)
-	if la, ok := p.k.plat.(interface{ LineSize() int }); ok {
-		line = uint64(la.LineSize())
-	}
+	line := p.k.lineSize
 	first := addr &^ (line - 1)
 	end := addr + uint64(n)
 	for a := first; a < end; a += line {

@@ -110,17 +110,15 @@ func (s *Platform) entry(la uint64) *lineEntry {
 	return e
 }
 
-// FastAccess implements sim.Platform.
+// FastAccess implements sim.Platform. HitAccess fuses the probe and the
+// access into one tag-array walk; it refuses (mutating nothing) on a miss or
+// a write without Modified/Exclusive rights, exactly as the unfused
+// Probe-then-Access pair did.
 func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
-	h := s.caches[p]
-	lvl, st := h.Probe(addr)
-	if lvl == cache.Miss {
+	lvl, _, ok := s.caches[p].HitAccess(addr, write)
+	if !ok {
 		return 0, false
 	}
-	if write && st != cache.Modified && st != cache.Exclusive {
-		return 0, false
-	}
-	h.Access(addr, write, st)
 	if lvl == cache.L1Hit {
 		return 0, true
 	}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// encodeEntry builds a raw entry file exactly as Put writes it.
+func encodeEntry(t testing.TB, key string, res Result) []byte {
+	t.Helper()
+	payload, err := json.Marshal(entry{Key: key, Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(payload)
+	return []byte(fmt.Sprintf("%s %s\n%s", magic, hex.EncodeToString(sum[:]), payload))
+}
+
+// FuzzEntryDecode drives the store's corruption tolerance: decode must never
+// panic and must never accept an entry whose checksum or key binding does not
+// hold — a torn or tampered file is a miss, not a poisoned result.
+func FuzzEntryDecode(f *testing.F) {
+	valid := encodeEntry(f, "s1|fp|cell", Result{ErrKind: "deadlock", ErrMsg: "stuck"})
+	f.Add(valid, "s1|fp|cell")
+	f.Add(valid, "s1|fp|other")               // foreign key: must be rejected
+	f.Add(valid[:len(valid)/2], "s1|fp|cell") // torn write
+	f.Add([]byte{}, "")
+	f.Add([]byte("svmstore1 deadbeef\n{}"), "k") // wrong checksum
+	f.Add([]byte("bogus cafe\n{}"), "k")         // wrong magic
+	f.Add([]byte("svmstore1\n{}"), "k")          // header missing the sum
+	f.Add([]byte("svmstore1 "+hex.EncodeToString(make([]byte, 32))+"\n"), "k")
+
+	f.Fuzz(func(t *testing.T, raw []byte, logical string) {
+		e, ok := decode(raw, logical)
+		if !ok {
+			return
+		}
+		// An accepted entry must be bound to the requested logical key...
+		if e.Key != logical {
+			t.Fatalf("decode accepted an entry for key %q when asked for %q", e.Key, logical)
+		}
+		// ...and must be byte-reconstructible: re-encoding what we decoded
+		// yields an entry decode accepts again (checksum really covered the
+		// payload we parsed).
+		if _, ok2 := decode(encodeEntry(t, e.Key, e.Result), logical); !ok2 {
+			t.Fatalf("round-trip of an accepted entry was rejected")
+		}
+	})
+}
+
+// FuzzEntryDecodeFlip flips one byte of a well-formed entry at a fuzzed
+// position: decode must either reject the file or (for flips inside JSON
+// whitespace-insensitive spots there are none — the checksum covers every
+// payload byte) return the original, never a silently different result.
+func FuzzEntryDecodeFlip(f *testing.F) {
+	f.Add(uint16(0), byte(1))
+	f.Add(uint16(10), byte(0xff))
+	f.Add(uint16(80), byte(0x20))
+	f.Fuzz(func(t *testing.T, pos uint16, delta byte) {
+		if delta == 0 {
+			return // not a flip
+		}
+		raw := encodeEntry(t, "s1|fp|cell", Result{ErrKind: "panic", ErrMsg: "boom"})
+		i := int(pos) % len(raw)
+		raw[i] ^= delta
+		if e, ok := decode(raw, "s1|fp|cell"); ok {
+			orig := encodeEntry(t, "s1|fp|cell", Result{ErrKind: "panic", ErrMsg: "boom"})
+			if string(encodeEntry(t, e.Key, e.Result)) != string(orig) {
+				t.Fatalf("flipped byte %d by %#x yet decode accepted a DIFFERENT entry", i, delta)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package svm
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/cache"
@@ -35,11 +36,15 @@ type node struct {
 
 // Platform is the HLRC shared-virtual-memory machine model.
 type Platform struct {
-	P     Params
-	as    *mem.AddressSpace
-	k     *sim.Kernel
-	np    int
-	nodes []*node
+	P  Params
+	as *mem.AddressSpace
+	k  *sim.Kernel
+	np int
+	// pageShift is log2(P.PageSize): page-number extraction sits on the
+	// access fast path of every simulated reference, and a shift avoids a
+	// 64-bit divide by a non-constant there.
+	pageShift uint
+	nodes     []*node
 
 	// writeLog[q][i] lists pages node q flushed in interval i; acquirers
 	// walk the intervals their vector clock advances over and invalidate
@@ -59,8 +64,24 @@ type Platform struct {
 }
 
 // New creates an SVM platform over the given address space for np nodes.
+// The page size must be a power of two (it always has been: page-grained
+// protocols inherit it from the MMU).
 func New(as *mem.AddressSpace, p Params, np int) *Platform {
-	return &Platform{P: p, as: as, np: np}
+	return &Platform{P: p, as: as, np: np, pageShift: PageShift(p.PageSize)}
+}
+
+// PageShift returns log2(n), panicking unless n is a power of two. Page-
+// grained platforms use it to turn per-access page-number divisions into
+// shifts.
+func PageShift(n uint64) uint {
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("svm: page size %d is not a power of two", n))
+	}
+	for sh := uint(0); ; sh++ {
+		if 1<<sh == n {
+			return sh
+		}
+	}
 }
 
 // Name implements sim.Platform.
@@ -116,8 +137,8 @@ func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
 	if nd < 0 || nd >= s.np {
 		return
 	}
-	first := addr / s.P.PageSize
-	last := (addr + uint64(nbytes) - 1) / s.P.PageSize
+	first := addr >> s.pageShift
+	last := (addr + uint64(nbytes) - 1) >> s.pageShift
 	n := s.nodes[nd]
 	for pg := first; pg <= last; pg++ {
 		s.ensurePage(n, pg)
@@ -129,7 +150,7 @@ func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
 // already-dirty pages) are purely local.
 func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
 	n := s.nodes[p]
-	pg := addr / s.P.PageSize
+	pg := addr >> s.pageShift
 	if pg >= uint64(len(n.valid)) || !n.valid[pg] {
 		return 0, false
 	}
@@ -151,7 +172,7 @@ func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint6
 // first-write traps (twin creation).
 func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
 	n := s.nodes[p]
-	pg := addr / s.P.PageSize
+	pg := addr >> s.pageShift
 	s.ensurePage(n, pg)
 	c := s.k.Counters(p)
 	var cost sim.AccessCost
@@ -390,9 +411,15 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 // release; the release itself is local (lazy protocol).
 func (s *Platform) LockRelease(p int, now uint64, lock int) (syncC, handler, freeDelay uint64) {
 	handler = s.flush(p, now)
-	rvc := make([]uint32, s.np)
+	// Reuse the lock's release-VC backing array: LockGrant consumes the
+	// values synchronously before the next release of the same lock can
+	// overwrite them, and the map already held last-release-wins semantics.
+	rvc := s.lockVC[lock]
+	if rvc == nil {
+		rvc = make([]uint32, s.np)
+		s.lockVC[lock] = rvc
+	}
 	copy(rvc, s.nodes[p].vc)
-	s.lockVC[lock] = rvc
 	return 100, handler, 0
 }
 

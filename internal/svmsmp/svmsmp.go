@@ -71,8 +71,11 @@ type Platform struct {
 	as     *mem.AddressSpace
 	k      *sim.Kernel
 	np, nc int
-	caches []*cache.Hierarchy
-	cl     []*cluster
+	// pageShift is log2(SVM.PageSize); page-number extraction is on the
+	// access fast path (see internal/svm).
+	pageShift uint
+	caches    []*cache.Hierarchy
+	cl        []*cluster
 
 	writeLog [][][]pageID // per cluster
 	lockVC   map[int][]uint32
@@ -85,7 +88,7 @@ func New(as *mem.AddressSpace, p Params, np int) *Platform {
 		p.ClusterSize = DefaultClusterSize
 	}
 	nc := (np + p.ClusterSize - 1) / p.ClusterSize
-	return &Platform{P: p, as: as, np: np, nc: nc}
+	return &Platform{P: p, as: as, np: np, nc: nc, pageShift: svm.PageShift(p.SVM.PageSize)}
 }
 
 // Name implements sim.Platform.
@@ -158,8 +161,8 @@ func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
 		return
 	}
 	c := s.cl[cid]
-	first := addr / s.P.SVM.PageSize
-	last := (addr + uint64(nbytes) - 1) / s.P.SVM.PageSize
+	first := addr >> s.pageShift
+	last := (addr + uint64(nbytes) - 1) >> s.pageShift
 	for pg := first; pg <= last; pg++ {
 		s.ensurePage(c, pg)
 		c.valid[pg] = true
@@ -179,22 +182,17 @@ func (s *Platform) entry(c *cluster, la uint64) *lineEntry {
 // (and cluster-dirty for writes), then intra-cluster MESI applies.
 func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
 	c := s.cl[s.clusterOf(p)]
-	pg := addr / s.P.SVM.PageSize
+	pg := addr >> s.pageShift
 	if pg >= uint64(len(c.valid)) || !c.valid[pg] {
 		return 0, false
 	}
 	if write && !c.dirty[pg] {
 		return 0, false
 	}
-	h := s.caches[p]
-	lvl, st := h.Probe(addr)
-	if lvl == cache.Miss {
+	lvl, _, ok := s.caches[p].HitAccess(addr, write)
+	if !ok {
 		return 0, false
 	}
-	if write && st != cache.Modified && st != cache.Exclusive {
-		return 0, false
-	}
-	h.Access(addr, write, st)
 	if lvl == cache.L1Hit {
 		return 0, true
 	}
@@ -206,7 +204,7 @@ func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint6
 func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
 	cid := s.clusterOf(p)
 	c := s.cl[cid]
-	pg := addr / s.P.SVM.PageSize
+	pg := addr >> s.pageShift
 	s.ensurePage(c, pg)
 	cnt := s.k.Counters(p)
 	var cost sim.AccessCost
@@ -486,9 +484,14 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 // LockRelease implements sim.Platform.
 func (s *Platform) LockRelease(p int, now uint64, lock int) (uint64, uint64, uint64) {
 	handler := s.flush(p, now)
-	rvc := make([]uint32, s.nc)
+	// Backing-array reuse: LockGrant consumes the values synchronously
+	// before the next release of this lock overwrites them (see internal/svm).
+	rvc := s.lockVC[lock]
+	if rvc == nil {
+		rvc = make([]uint32, s.nc)
+		s.lockVC[lock] = rvc
+	}
 	copy(rvc, s.cl[s.clusterOf(p)].vc)
-	s.lockVC[lock] = rvc
 	return s.P.Bus.LockRelease, handler, 0
 }
 
