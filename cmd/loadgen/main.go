@@ -51,6 +51,16 @@ func parseCells(s string) ([]cell, error) {
 		if !ok {
 			return nil, fmt.Errorf("bad cell %q: missing :procs", f)
 		}
+		// An empty component would parse here and only surface later as a
+		// confusing server 422 mid-run; reject it up front instead.
+		switch {
+		case app == "":
+			return nil, fmt.Errorf("bad cell %q: empty app", f)
+		case version == "":
+			return nil, fmt.Errorf("bad cell %q: empty version", f)
+		case platform == "":
+			return nil, fmt.Errorf("bad cell %q: empty platform", f)
+		}
 		procs, err := strconv.Atoi(procsStr)
 		if err != nil || procs < 1 {
 			return nil, fmt.Errorf("bad cell %q: bad processor count %q", f, procsStr)

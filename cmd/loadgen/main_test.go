@@ -19,7 +19,12 @@ func TestParseCells(t *testing.T) {
 			t.Errorf("cell %d = %+v, want %+v", i, cells[i], want[i])
 		}
 	}
-	for _, bad := range []string{"", "lu@svm:8", "lu/orig@svm", "lu/orig@svm:0", "lu/orig@svm:x"} {
+	for _, bad := range []string{
+		"", "lu@svm:8", "lu/orig@svm", "lu/orig@svm:0", "lu/orig@svm:x",
+		// Empty components used to parse and only fail later as server
+		// 422s mid-run; they must be rejected up front (exit 2 in main).
+		"/@:4", "/orig@svm:4", "lu/@svm:4", "lu/orig@:4",
+	} {
 		if _, err := parseCells(bad); err == nil {
 			t.Errorf("parseCells(%q) accepted", bad)
 		}

@@ -4,6 +4,12 @@
 // bins updated under a lock vs. per-processor private bins reduced at the
 // end), the classic page-granularity lesson in thirty lines.
 //
+// The body below runs under the event-loop scheduler: each processor is a
+// resumable continuation, ReadRange/WriteRange issue whole access batches
+// the kernel drains in place, and Lock/Barrier are ordinary calls that park
+// the continuation in virtual time. Write the body as straight-line code;
+// the scheduler interleaves processors deterministically underneath it.
+//
 //	go run ./examples/newapp
 package main
 
@@ -75,6 +81,10 @@ func histogram(plat string, private bool) uint64 {
 		// instead of crashing the host.
 		log.Fatal(err)
 	}
+	// The kernel owns the returned Run and reuses it on its next Run call;
+	// copy out what you need before re-running the same kernel (this
+	// example uses a fresh kernel per configuration, so reading EndTime
+	// directly is safe).
 	return run.EndTime
 }
 

@@ -148,6 +148,14 @@ type Hierarchy struct {
 	l1, l2    *level
 	lineShift uint
 	clock     uint32
+	// fast12 selects the unrolled Access path for the direct-mapped-L1,
+	// 2-way-L2 shape (the SVM node hierarchy, the hottest in figure runs).
+	// w1arr/w2arr/m1/m2 mirror the levels' fields so that path loads them
+	// without chasing the level pointers; the backing arrays are allocated
+	// once in New and never reallocated, so the aliases stay valid.
+	fast12       bool
+	w1arr, w2arr []way
+	m1, m2       uint64
 
 	// OnL2Evict, when set, is called with the line address and state of
 	// every line evicted from L2 by capacity/conflict replacement. The
@@ -167,6 +175,9 @@ func New(cfg Config) *Hierarchy {
 	h := &Hierarchy{cfg: cfg}
 	h.l1 = newLevel(cfg.L1Size, cfg.L1Assoc, cfg.Line)
 	h.l2 = newLevel(cfg.L2Size, cfg.L2Assoc, cfg.Line)
+	h.fast12 = cfg.L1Assoc == 1 && cfg.L2Assoc == 2
+	h.w1arr, h.m1 = h.l1.ways, h.l1.setMask
+	h.w2arr, h.m2 = h.l2.ways, h.l2.setMask
 	for sh := uint(0); ; sh++ {
 		if 1<<sh == cfg.Line {
 			h.lineShift = sh
@@ -198,20 +209,147 @@ func (h *Hierarchy) Probe(addr uint64) (Level, State) {
 	return Miss, Invalid
 }
 
+// scan walks lineAddr's set once, returning the set's way slice, the way
+// holding lineAddr (hit == -1 when absent) and, for the miss case, the
+// insertion victim chosen exactly as insert does: first invalid way, else
+// lowest LRU stamp, ties to the lowest way index. The scan stops at a hit,
+// like lookup, so LRU observation order is unchanged; victim is only
+// meaningful when hit == -1 (the full set was scanned).
+func (l *level) scan(lineAddr uint64) (ws []way, hit, victim int) {
+	base := int(lineAddr&l.setMask) * l.assoc
+	ws = l.ways[base : base+l.assoc]
+	victim = -1
+	haveInvalid := false
+	best := ^uint32(0)
+	for w := range ws {
+		if ws[w].st == Invalid {
+			if !haveInvalid {
+				// First invalid way wins outright, as insert's break does.
+				haveInvalid = true
+				victim = w
+			}
+			continue
+		}
+		if ws[w].tag == lineAddr {
+			return ws, w, -1
+		}
+		if !haveInvalid && ws[w].lru < best {
+			best = ws[w].lru
+			victim = w
+		}
+	}
+	if victim < 0 {
+		victim = 0 // all valid at the maximum stamp: insert's default
+	}
+	return ws, -1, victim
+}
+
 // Access performs a load or store of the line containing addr, updating tag
 // and LRU state. fillState is the state a missing line would be installed in
 // (used on the hardware platforms; pass Exclusive for SVM). It returns the
 // level that satisfied the access and the line's resulting L2 state.
 //
+// Every simulated memory reference of every application funnels through
+// here, so the miss path is fused: each level's hit probe and victim choice
+// share one tag-array walk instead of lookup-then-insert walking the set
+// twice. The decisions (scan order, first-invalid-else-LRU victim, tie to
+// the lowest way) are bit-for-bit those of the unfused path, so simulated
+// timing is unchanged.
+//
 // Coherence upgrades (write to a Shared line) are NOT handled here: the
 // caller must Probe first and drive the protocol; Access then applies the
 // final state via SetState or by re-filling.
 func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, State) {
+	if h.fast12 {
+		return h.access12(addr, write, fillState)
+	}
+	return h.accessGeneric(addr, write, fillState)
+}
+
+// access12 is Access unrolled for a direct-mapped L1 over a 2-way L2 — the
+// SVM node hierarchy, which every simulated SVM reference walks. Probe,
+// victim choice and back-invalidation are the literal expansions of the
+// generic path at assoc 1 and 2, so the two produce identical state.
+func (h *Hierarchy) access12(addr uint64, write bool, fillState State) (Level, State) {
 	h.clock++
 	h.Accesses++
 	la := addr >> h.lineShift
-	if b1, w1, ok := h.l1.lookup(la); ok {
-		h.l1.ways[b1+w1].lru = h.clock
+	w1 := &h.w1arr[la&h.m1]
+	s2 := h.w2arr[int(la&h.m2)*2:]
+	wa := &s2[0]
+	wb := &s2[1]
+	if w1.st != Invalid && w1.tag == la {
+		// L1 hit; L1 is write-through, so line state lives in L2.
+		w1.lru = h.clock
+		if wa.st != Invalid && wa.tag == la {
+			wa.lru = h.clock
+			if write && wa.st == Exclusive {
+				wa.st = Modified
+			}
+			return L1Hit, wa.st
+		}
+		if wb.st != Invalid && wb.tag == la {
+			wb.lru = h.clock
+			if write && wb.st == Exclusive {
+				wb.st = Modified
+			}
+			return L1Hit, wb.st
+		}
+		return L1Hit, Exclusive
+	}
+	h.L1Misses++
+	hit := (*way)(nil)
+	if wa.st != Invalid && wa.tag == la {
+		hit = wa
+	} else if wb.st != Invalid && wb.tag == la {
+		hit = wb
+	}
+	if hit != nil {
+		hit.lru = h.clock
+		if write && hit.st == Exclusive {
+			hit.st = Modified
+		}
+		st := hit.st
+		*w1 = way{tag: la, lru: h.clock, st: st}
+		return L2Hit, st
+	}
+	h.L2Misses++
+	st := fillState
+	if write {
+		if st == Exclusive || st == Shared {
+			st = Modified
+		}
+	}
+	// Victim: first invalid way, else lower LRU stamp, ties to way 0.
+	v := wa
+	if wa.st != Invalid && (wb.st == Invalid || wb.lru < wa.lru) {
+		v = wb
+	}
+	ev, evSt := v.tag, v.st
+	*v = way{tag: la, lru: h.clock, st: st}
+	if evSt != Invalid {
+		// Inclusion: a line leaving L2 must also leave L1.
+		we := &h.w1arr[ev&h.m1]
+		if we.st != Invalid && we.tag == ev {
+			we.st = Invalid
+		}
+		if h.OnL2Evict != nil {
+			h.OnL2Evict(ev, evSt)
+		}
+	}
+	// Direct-mapped L1: la's slot is the victim no matter what the eviction
+	// callback touched.
+	*w1 = way{tag: la, lru: h.clock, st: st}
+	return Miss, st
+}
+
+func (h *Hierarchy) accessGeneric(addr uint64, write bool, fillState State) (Level, State) {
+	h.clock++
+	h.Accesses++
+	la := addr >> h.lineShift
+	w1s, hit1, vic1 := h.l1.scan(la)
+	if hit1 >= 0 {
+		w1s[hit1].lru = h.clock
 		// L1 is write-through: line state lives in L2.
 		if b2, w2, ok2 := h.l2.lookup(la); ok2 {
 			w := &h.l2.ways[b2+w2]
@@ -224,14 +362,15 @@ func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, Sta
 		return L1Hit, Exclusive
 	}
 	h.L1Misses++
-	if b2, w2, ok := h.l2.lookup(la); ok {
-		w := &h.l2.ways[b2+w2]
+	w2s, hit2, vic2 := h.l2.scan(la)
+	if hit2 >= 0 {
+		w := &w2s[hit2]
 		w.lru = h.clock
 		if write && w.st == Exclusive {
 			w.st = Modified
 		}
 		st := w.st
-		h.l1.insert(la, st, h.clock)
+		w1s[vic1] = way{tag: la, lru: h.clock, st: st}
 		return L2Hit, st
 	}
 	h.L2Misses++
@@ -241,8 +380,13 @@ func (h *Hierarchy) Access(addr uint64, write bool, fillState State) (Level, Sta
 			st = Modified
 		}
 	}
-	if ev, evSt := h.l2.insert(la, st, h.clock); evSt != Invalid {
-		// Inclusion: a line leaving L2 must also leave L1.
+	v := &w2s[vic2]
+	ev, evSt := v.tag, v.st
+	*v = way{tag: la, lru: h.clock, st: st}
+	if evSt != Invalid {
+		// Inclusion: a line leaving L2 must also leave L1. This can free a
+		// way in la's own L1 set, so the L1 victim must be re-chosen below
+		// rather than taken from the pre-eviction scan.
 		if b1, w1, ok := h.l1.lookup(ev); ok {
 			h.l1.ways[b1+w1].st = Invalid
 		}
@@ -377,4 +521,16 @@ func (h *Hierarchy) Flush() {
 			l.ways[i].st = Invalid
 		}
 	}
+}
+
+// Reset returns the hierarchy to its exact post-New state — cold tag arrays,
+// zero LRU clock, zero counters — without reallocating the way records, so a
+// platform reattaching between runs allocates nothing.
+func (h *Hierarchy) Reset() {
+	clear(h.l1.ways)
+	clear(h.l2.ways)
+	h.clock = 0
+	h.Accesses = 0
+	h.L1Misses = 0
+	h.L2Misses = 0
 }

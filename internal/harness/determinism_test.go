@@ -47,6 +47,73 @@ func TestOptimizedKernelByteIdentical(t *testing.T) {
 	}
 }
 
+// TestQuantumEdgesByteIdentical pins the event-loop scheduler's quantum
+// invariance at its edge cases: Quantum 1 (a processor yields at every
+// opportunity past the horizon) and an effectively infinite quantum (a
+// processor only ever yields at synchronization points) must render exactly
+// the same output as the default slice. Every synchronization and slow-path
+// event is pinned to the virtual-time floor by a syncPoint (the kernel-level
+// guarantee, pinned exhaustively by sim's TestPropertyQuantumInvariance), so
+// the quantum can only move the two effects the model deliberately leaves
+// "near virtual-time" (DESIGN.md §8):
+//
+//   - handler-debt folding: work an SVM home node performs for others is
+//     folded into its clock at its next scheduling pick, and the quantum
+//     sets the pick cadence — visible for apps with heavy mid-phase page
+//     traffic (ocean, raytrace, barnes on svm);
+//   - hardware coherence vs. the fast path: on dsm/smp a remote write
+//     invalidates lines at its own virtual time, so fine-grained read-write
+//     sharing (radix's permutation, barnes's tree build) can see a fast
+//     read land on either side of a same-window invalidation.
+//
+// Cells exercising neither mechanism must be exactly invariant, and this
+// test pins that subset across apps and platforms; cells where a mechanism
+// is active are deliberately not pinned. Small cells keep this in the
+// -race -short CI leg; a full-size cell joins outside -short.
+func TestQuantumEdgesByteIdentical(t *testing.T) {
+	cells := []Spec{
+		{App: "lu", Version: "orig", Platform: "svm", NumProcs: 4, Scale: 0.25},
+		{App: "lu", Version: "orig", Platform: "smp", NumProcs: 4, Scale: 0.25},
+		{App: "lu", Version: "4d", Platform: "dsm", NumProcs: 4, Scale: 0.25},
+		{App: "ocean", Version: "rows", Platform: "dsm", NumProcs: 4, Scale: 0.25},
+		{App: "ocean", Version: "rows", Platform: "smp", NumProcs: 4, Scale: 0.25},
+		{App: "radix", Version: "orig", Platform: "svm", NumProcs: 4, Scale: 0.25},
+		{App: "shearwarp", Version: "orig", Platform: "svm", NumProcs: 4, Scale: 0.25},
+	}
+	if !testing.Short() {
+		cells = append(cells,
+			Spec{App: "lu", Version: "4d", Platform: "dsm", NumProcs: 16, Scale: 0.5},
+			Spec{App: "ocean", Version: "rows", Platform: "smp", NumProcs: 16, Scale: 0.5},
+			Spec{App: "shearwarp", Version: "orig", Platform: "svm", NumProcs: 16, Scale: 0.5})
+	}
+	render := func(s Spec) []byte {
+		t.Helper()
+		run, err := Execute(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.label(), err)
+		}
+		out, err := RunJSON(s, run, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, base := range cells {
+		def := render(base)
+		for _, q := range []uint64{1, 1 << 40} {
+			spec := base
+			spec.Quantum = q
+			got := render(spec)
+			// The rendered spec echoes only behavior-relevant fields, so
+			// the bytes must match exactly across quanta.
+			if !bytes.Equal(def, got) {
+				t.Errorf("%s: Quantum=%d output differs from default quantum:\n%s",
+					base.label(), q, firstDiff(def, got))
+			}
+		}
+	}
+}
+
 // firstDiff renders the first differing region of two byte slices for a
 // readable failure message.
 func firstDiff(a, b []byte) string {

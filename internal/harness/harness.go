@@ -35,6 +35,12 @@ type Spec struct {
 	// monotonicity, platform protocol sweeps, accounting identity); see
 	// sim.Config.Check. Also forced on process-wide by REPRO_CHECK=1.
 	Check bool
+	// Quantum overrides the scheduler's slice length in cycles (0 keeps the
+	// kernel default). Simulated results are quantum-invariant — the quantum
+	// decides only how often a processor yields between synchronization
+	// points, never what it charges (pinned by the quantum-edge determinism
+	// test) — but it is still part of the memo key out of caution.
+	Quantum uint64
 
 	// TraceSink, when non-nil, receives every protocol event of the run
 	// (see internal/trace). TraceRing, when positive, keeps the last N
@@ -59,8 +65,8 @@ func (s Spec) label() string {
 // the diagnostic flags for readability, which made it unsafe as a cache
 // key: a FreeCSFaults run would have aliased a normal one).
 func (s Spec) memoKey() string {
-	return fmt.Sprintf("%s/%s@%s p=%d scale=%g freecs=%v noverify=%v check=%v",
-		s.App, s.Version, s.Platform, s.NumProcs, s.Scale, s.FreeCSFaults, s.SkipVerify, s.Check)
+	return fmt.Sprintf("%s/%s@%s p=%d scale=%g freecs=%v noverify=%v check=%v quantum=%d",
+		s.App, s.Version, s.Platform, s.NumProcs, s.Scale, s.FreeCSFaults, s.SkipVerify, s.Check, s.Quantum)
 }
 
 // envCheck force-enables invariant checking for the whole process (the CI
@@ -168,6 +174,7 @@ func execute(s Spec, profile bool) (*stats.Run, string, core.Instance, error) {
 		BarrierManager: sim.AutoBarrierManager,
 		FreeCSFaults:   s.FreeCSFaults,
 		Check:          s.Check,
+		Quantum:        s.Quantum,
 	})
 	if s.TraceSink != nil {
 		k.SetTraceSink(s.TraceSink)

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// slowLinePlatform makes every access take the slow path with a fixed
+// DataWait cost, so ReadRange batches hit syncPoint yields and are drained
+// kernel-side across scheduling rounds. When panicAt is non-zero, the
+// SlowAccess for that exact address panics — modelling protocol corruption
+// detected mid-batch, on the kernel goroutine rather than inside the
+// processor's continuation.
+type slowLinePlatform struct {
+	NopPlatform
+	slowCost uint64
+	panicAt  uint64
+}
+
+func (s *slowLinePlatform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
+	return 0, false
+}
+
+func (s *slowLinePlatform) SlowAccess(p int, now uint64, addr uint64, write bool) AccessCost {
+	if s.panicAt != 0 && addr == s.panicAt {
+		panic(fmt.Sprintf("protocol corruption at %#x", addr))
+	}
+	return AccessCost{DataWait: s.slowCost}
+}
+
+// TestPanicInsideKernelDrainedBatch: a panic raised while the kernel drains
+// a processor's access batch (the processor's continuation is suspended
+// inside ReadRange at that moment) must be attributed to that processor,
+// returned as the same structured *ProcPanicError as a panic in the body,
+// and must unwind every suspended continuation.
+func TestPanicInsideKernelDrainedBatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pl := &slowLinePlatform{slowCost: 100, panicAt: 8 * 32}
+	k := New(pl, Config{NumProcs: 2})
+	run, err := k.RunErr("batch-boom", func(p *Proc) {
+		if p.ID() == 0 {
+			// 16 slow lines: the batch yields at the first syncPoint and
+			// is then drained kernel-side, panicking at line 8.
+			p.ReadRange(0, 16*32)
+		} else {
+			p.Compute(1000)
+		}
+		p.Barrier()
+	})
+	if run != nil {
+		t.Error("failed run returned non-nil stats")
+	}
+	var pe *ProcPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProcPanicError", err)
+	}
+	if pe.Proc != 0 {
+		t.Errorf("panic attributed to proc %d, want 0 (the batch's owner)", pe.Proc)
+	}
+	if !strings.Contains(err.Error(), "protocol corruption at 0x100") {
+		t.Errorf("error message lost the panic value: %q", err)
+	}
+	if pe.Stack == "" {
+		t.Error("no stack captured for a kernel-side batch panic")
+	}
+	if n := settleGoroutines(t, before); n > before {
+		t.Errorf("goroutines grew from %d to %d: suspended batch leaked", before, n)
+	}
+}
+
+// TestPanicElsewhereUnwindsSuspendedBatch: when another processor panics
+// while one is suspended mid-ReadRange, the unwind must run the suspended
+// continuation to completion (through the batch loop) without leaking it,
+// and the kernel must stay reusable with no residual batch state.
+func TestPanicElsewhereUnwindsSuspendedBatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pl := &slowLinePlatform{slowCost: 100}
+	k := New(pl, Config{NumProcs: 3})
+	body := func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.ReadRange(0, 1024*32) // long batch, yields mid-flight
+		case 1:
+			p.Compute(10)
+			panic("die")
+		}
+		p.Barrier()
+	}
+	_, err := k.RunErr("boom-next-door", body)
+	var pe *ProcPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProcPanicError", err)
+	}
+	if pe.Proc != 1 {
+		t.Errorf("panic attributed to proc %d, want 1", pe.Proc)
+	}
+	if n := settleGoroutines(t, before); n > before {
+		t.Errorf("goroutines grew from %d to %d after unwind", before, n)
+	}
+
+	// No live state may survive: the same kernel must run cleanly and
+	// deterministically afterwards.
+	clean := func(p *Proc) { p.ReadRange(0, 8*32); p.Barrier() }
+	r1, err := k.RunErr("after-1", clean)
+	if err != nil {
+		t.Fatalf("kernel not reusable after mid-batch unwind: %v", err)
+	}
+	end1 := r1.EndTime
+	r2, err := k.RunErr("after-2", clean)
+	if err != nil {
+		t.Fatalf("second clean run: %v", err)
+	}
+	if end1 != r2.EndTime {
+		t.Errorf("post-unwind runs differ: %d vs %d cycles", end1, r2.EndTime)
+	}
+}
+
+// TestDeadlockAfterBatchDump: a deadlock in a run that used mid-yielding
+// batches must produce the same structured *DeadlockError and state dump as
+// before the event-loop rewrite, and leak nothing.
+func TestDeadlockAfterBatchDump(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pl := &slowLinePlatform{slowCost: 100}
+	k := New(pl, Config{NumProcs: 2})
+	_, err := k.RunErr("batch-dead", func(p *Proc) {
+		if p.ID() == 0 {
+			p.Lock(5)
+			p.Barrier() // waits for proc 1, which waits on the lock
+			p.Unlock(5)
+		} else {
+			p.ReadRange(0, 64*32)
+			p.Lock(5)
+			p.Unlock(5)
+			p.Barrier()
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if !strings.Contains(de.Dump, "lock 5") {
+		t.Errorf("state dump missing the contended lock:\n%s", de.Dump)
+	}
+	if !strings.Contains(de.Dump, "barrier: 1 arrived") {
+		t.Errorf("state dump missing barrier state:\n%s", de.Dump)
+	}
+	if n := settleGoroutines(t, before); n > before {
+		t.Errorf("goroutines grew from %d to %d after deadlock", before, n)
+	}
+}
+
+// TestBatchResultsMatchPerLineAccesses: a ReadRange batch must charge
+// exactly what the same lines issued as individual Reads charge, whatever
+// mix of fast and slow lines it covers — the batch is a scheduling
+// optimization, not a cost model change.
+func TestBatchResultsMatchPerLineAccesses(t *testing.T) {
+	mixed := &stripePlatform{slowEvery: 4, slowCost: 70}
+	runIt := func(batch bool) cmpResult {
+		k := New(mixed, Config{NumProcs: 2})
+		r := k.Run("cmp", func(p *Proc) {
+			if batch {
+				p.ReadRange(0, 128*32)
+			} else {
+				for off := uint64(0); off < 128*32; off += 32 {
+					p.Read(off)
+				}
+			}
+			p.Barrier()
+		})
+		return cmpResult{end: r.EndTime, p0: r.Procs[0].Total(), reads: r.Procs[0].Counters.Reads}
+	}
+	a, b := runIt(true), runIt(false)
+	if a != b {
+		t.Errorf("batch run %+v differs from per-line run %+v", a, b)
+	}
+}
+
+type cmpResult struct {
+	end, p0, reads uint64
+}
+
+// stripePlatform: every slowEvery-th line is slow, the rest are free hits.
+type stripePlatform struct {
+	NopPlatform
+	slowEvery uint64
+	slowCost  uint64
+}
+
+func (s *stripePlatform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
+	if (addr/32)%s.slowEvery == 0 {
+		return 0, false
+	}
+	return 0, true
+}
+
+func (s *stripePlatform) SlowAccess(p int, now uint64, addr uint64, write bool) AccessCost {
+	return AccessCost{DataWait: s.slowCost}
+}

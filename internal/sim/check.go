@@ -82,8 +82,8 @@ func (k *Kernel) checkFinal() error {
 		return err
 	}
 	clocks := make([]uint64, len(k.procs))
-	for i, p := range k.procs {
-		clocks[i] = p.clock
+	for i := range k.procs {
+		clocks[i] = k.procs[i].clock
 	}
 	if err := k.run.CheckAccounting(clocks); err != nil {
 		return k.invariantErr("accounting", "%v", err)

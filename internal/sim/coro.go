@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"iter"
+	"runtime/debug"
+)
+
+// Continuations.
+//
+// Multi-processor runs execute each body on a resumable continuation built
+// from iter.Pull, which the runtime backs with a direct coroutine switch —
+// about 3x cheaper than the park/resume channel rendezvous the kernel used
+// to pay per handoff, with no goroutine wakeup latency and no scheduler
+// interaction. Exactly one continuation runs at a time and only when the
+// event loop resumes it, so the global single-active discipline (and with
+// it the platforms' lock-free design) is unchanged.
+//
+// The wrapper recovers two kinds of panic at the continuation boundary:
+//
+//   - abortSim, raised inside switchOut when the kernel stops a continuation
+//     while unwinding a failed run — swallowed silently;
+//   - everything else (application bugs, platform guards such as interval
+//     overflow), captured into p.panicked/p.stack and surfaced by the event
+//     loop as a *ProcPanicError, exactly as the goroutine-per-processor
+//     kernel did.
+
+// start builds p's continuation around body. The body does not run until
+// the event loop first resumes p; if the run is unwound before that, the
+// continuation is stopped without the body ever starting.
+func (p *Proc) start(body func(*Proc)) {
+	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		defer func() {
+			if r := recover(); r != nil {
+				if _, abort := r.(abortSim); !abort {
+					p.panicked = r
+					p.stack = string(debug.Stack())
+				}
+			}
+		}()
+		body(p)
+	})
+}
+
+// resumeCoro switches into p's continuation until it yields again (p.op
+// says how) or the body returns (opDone).
+func (p *Proc) resumeCoro() opKind {
+	if _, ok := p.next(); !ok {
+		return opDone
+	}
+	return p.op
+}

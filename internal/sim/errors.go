@@ -54,6 +54,26 @@ func formatRecent(evs []trace.Event) string {
 		strings.TrimSuffix(trace.FormatEvents(evs), "\n"))
 }
 
-// abortSim is the sentinel panic used to unwind parked processor goroutines
-// when a run aborts; the goroutine wrapper recovers it silently.
+// ConfigError reports a Config that RunErr refuses to run, such as an
+// explicit BarrierManager naming a processor that does not exist. Earlier
+// kernels silently clamped such values into range, which quietly moved the
+// paper's barrier-manager placement analysis onto a different processor.
+type ConfigError struct {
+	// Field is the Config field that is invalid.
+	Field string
+	// Detail describes why the value is rejected.
+	Detail string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid config: %s: %s", e.Field, e.Detail)
+}
+
+// abortSim is the sentinel panic used to unwind processor continuations
+// when a run aborts; the continuation wrapper recovers it silently.
 type abortSim struct{}
+
+// inlineAbort carries a structured simulation error (today only a
+// *DeadlockError from parking the only processor) out of a single-processor
+// body running inline on the kernel goroutine.
+type inlineAbort struct{ err error }

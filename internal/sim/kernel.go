@@ -24,7 +24,8 @@ type Config struct {
 	// the manager of the most important barrier). AutoBarrierManager (any
 	// negative value) selects the paper's placement — NumProcs-6 when
 	// NumProcs >= 8 (so 10 for 16 processors), else 0. An explicit value,
-	// including 0, pins the manager to that processor.
+	// including 0, pins the manager to that processor; an explicit value
+	// >= NumProcs is a configuration error reported by RunErr.
 	BarrierManager int
 	// FreeCSFaults, when true, makes data-access costs inside critical
 	// sections free — the paper's diagnostic for critical-section
@@ -60,10 +61,23 @@ func (c Config) withDefaults() Config {
 			c.BarrierManager = 0
 		}
 	}
-	if c.BarrierManager >= c.NumProcs {
-		c.BarrierManager = c.NumProcs - 1
-	}
 	return c
+}
+
+// validate rejects configurations withDefaults cannot repair. An explicit
+// BarrierManager at or beyond NumProcs used to be silently clamped to the
+// last processor — the same class of silent misconfiguration as the old
+// 0-sentinel bug, and one that quietly moved the paper's manager-placement
+// analysis onto the wrong processor. It is now a structured error.
+func (c Config) validate() error {
+	if c.BarrierManager >= c.NumProcs {
+		return &ConfigError{
+			Field: "BarrierManager",
+			Detail: fmt.Sprintf("manager processor %d does not exist with NumProcs=%d (use AutoBarrierManager for the paper's placement)",
+				c.BarrierManager, c.NumProcs),
+		}
+	}
+	return nil
 }
 
 type procState int
@@ -74,6 +88,10 @@ const (
 	stParked
 	stDone
 )
+
+// noHorizon is the yield horizon when no other processor is ready: the
+// running processor may advance unboundedly without yielding.
+const noHorizon = ^uint64(0)
 
 type lockState struct {
 	held       bool
@@ -97,28 +115,33 @@ type barrierState struct {
 	epoch    uint64
 }
 
-// Kernel is the deterministic cooperative scheduler binding application
-// processes to a Platform.
+// Kernel is the deterministic event-loop scheduler binding application
+// processes to a Platform. Simulated processors are plain state, not
+// goroutines: the kernel pops the ready processor with the smallest virtual
+// clock from a priority heap and resumes its continuation (or drains its
+// pending access batch in place) until it yields, parks, or finishes.
 type Kernel struct {
 	cfg  Config
 	plat Platform
 	run  *stats.Run
 
-	procs   []*Proc
-	yield   chan *Proc
-	horizon uint64 // clock of the next-min ready proc while one runs
+	procs   []Proc
+	ready   []*Proc // min-heap on (clock, id): the ready processors
+	horizon uint64  // clock of the next-min ready proc while one runs
+	inline  bool    // NumProcs==1: body runs directly on the kernel goroutine
 
 	// lineSize caches the platform's range-access granularity so rangeAccess
 	// does not repeat an interface assertion per call.
 	lineSize uint64
+	// ranger caches the platform's optional bulk fast path (see RangeAccessor).
+	ranger RangeAccessor
 
 	pendingHandler []uint64 // handler debt charged by remote protocol work
 	locksHeld      []int    // nesting depth of locks held per proc
 	locks          map[int]*lockState
 	bar            barrierState
 
-	running  bool
-	aborting bool // set while unwinding parked goroutines after a failure
+	running bool
 
 	// Invariant checking state (Config.Check).
 	lastPickClock uint64 // virtual-time floor at the previous pick
@@ -145,7 +168,6 @@ func New(plat Platform, cfg Config) *Kernel {
 	k := &Kernel{
 		cfg:            cfg,
 		plat:           plat,
-		yield:          make(chan *Proc),
 		pendingHandler: make([]uint64, cfg.NumProcs),
 		locksHeld:      make([]int, cfg.NumProcs),
 		locks:          map[int]*lockState{},
@@ -154,6 +176,7 @@ func New(plat Platform, cfg Config) *Kernel {
 	if la, ok := plat.(interface{ LineSize() int }); ok {
 		k.lineSize = uint64(la.LineSize())
 	}
+	k.ranger, _ = plat.(RangeAccessor)
 	k.bar.arrivals = make([]uint64, cfg.NumProcs)
 	k.bar.starts = make([]uint64, cfg.NumProcs)
 	return k
@@ -262,24 +285,44 @@ func (k *Kernel) Run(name string, body func(p *Proc)) *stats.Run {
 // collected statistics. A panic in any processor body is recovered and
 // returned as a *ProcPanicError; a synchronization deadlock (no runnable
 // processor before every body returned) is returned as a *DeadlockError
-// carrying the kernel state dump. In both cases every remaining processor
-// goroutine is unwound before RunErr returns, so a failed simulation leaks
-// nothing and the kernel can be reused.
+// carrying the kernel state dump; an invalid configuration is returned as a
+// *ConfigError before anything runs. In both failure cases every remaining
+// processor continuation is unwound before RunErr returns, so a failed
+// simulation leaks nothing and the kernel can be reused.
+//
+// The returned *stats.Run is owned by the kernel and reused by its next
+// run: callers that need results from two runs of the same kernel must copy
+// what they retain before calling RunErr again. (The harness creates one
+// kernel per execution, so memoized figure results are unaffected.)
 func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 	if k.running {
 		return nil, fmt.Errorf("sim: kernel already running")
 	}
+	if err := k.cfg.validate(); err != nil {
+		return nil, err
+	}
 	k.running = true
-	k.aborting = false
 	defer func() { k.running = false }()
 
-	k.run = stats.NewRun(name, k.cfg.NumProcs)
+	np := k.cfg.NumProcs
+	// Reuse the previous run's result object and the kernel's scheduling
+	// state in place: a kernel that is run repeatedly (the micro-benchmarks,
+	// parameter sweeps over one platform instance) allocates nothing per run.
+	if k.run != nil && cap(k.run.Procs) >= np {
+		k.run.Reset(name, np)
+	} else {
+		k.run = stats.NewRun(name, np)
+	}
 	k.runSinks = k.runSinks[:0]
 	if k.ring != nil {
 		k.ring.Reset()
 	}
 	k.plat.Attach(k) // may install per-run sinks via AddRunSink
-	k.tr = trace.Tee(append([]trace.Sink{k.userSink, ringSink(k.ring)}, k.runSinks...)...)
+	if k.userSink == nil && k.ring == nil && len(k.runSinks) == 0 {
+		k.tr = nil
+	} else {
+		k.tr = trace.Tee(append([]trace.Sink{k.userSink, ringSink(k.ring)}, k.runSinks...)...)
+	}
 	k.sampler = nil
 	if k.sampleEvery > 0 && k.tr != nil {
 		if sp, ok := k.tr.(trace.Sampler); ok {
@@ -292,81 +335,41 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 		k.pendingHandler[i] = 0
 		k.locksHeld[i] = 0
 	}
-	k.locks = map[int]*lockState{}
-	k.bar = barrierState{
-		arrivals: make([]uint64, k.cfg.NumProcs),
-		starts:   make([]uint64, k.cfg.NumProcs),
+	clear(k.locks)
+	k.bar.count = 0
+	k.bar.epoch = 0
+	k.bar.waiting = k.bar.waiting[:0]
+	for i := range k.bar.arrivals {
+		k.bar.arrivals[i] = 0
+		k.bar.starts[i] = 0
 	}
 	k.lastPickClock = 0
 	k.picks = 0
 	k.nextCheck = 1024
 
-	k.procs = make([]*Proc, k.cfg.NumProcs)
-	for i := 0; i < k.cfg.NumProcs; i++ {
-		p := &Proc{id: i, k: k, resume: make(chan struct{})}
-		k.procs[i] = p
-		go func(p *Proc) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, abort := r.(abortSim); !abort {
-						p.panicked = r
-						p.stack = string(debug.Stack())
-					}
-				}
-				p.op = opDone
-				k.yield <- p
-			}()
-			<-p.resume
-			if k.aborting {
-				return
-			}
-			body(p)
-		}(p)
+	if cap(k.procs) >= np {
+		k.procs = k.procs[:np]
+	} else {
+		k.procs = make([]Proc, np)
 	}
+	for i := range k.procs {
+		k.procs[i] = Proc{id: i, k: k, stp: &k.run.Procs[i]}
+	}
+	k.inline = np == 1
 
-	live := k.cfg.NumProcs
-	for live > 0 {
-		p := k.pickReady()
-		if p == nil {
-			err := &DeadlockError{Dump: k.stateDump(), Recent: k.recentEvents()}
-			k.unwind()
-			return nil, err
-		}
-		// p's clock is the minimum over ready processors, i.e. the floor of
-		// global virtual time: sample the breakdown when it crosses the
-		// next interval boundary.
-		if k.sampler != nil && p.clock >= k.nextSample {
-			k.sample(p.clock)
-		}
-		if k.cfg.Check {
-			if err := k.checkTick(p); err != nil {
-				k.unwind()
-				return nil, err
-			}
-		}
-		k.applyDebt(p)
-		p.state = stRunning
-		p.sliceStart = p.clock
-		p.resume <- struct{}{}
-		q := <-k.yield
-		switch q.op {
-		case opYield:
-			q.state = stReady
-		case opPark:
-			// state already stParked, set by the blocking path.
-		case opDone:
-			q.state = stDone
-			live--
-			if q.panicked != nil {
-				err := &ProcPanicError{Proc: q.id, Value: q.panicked, Stack: q.stack, Recent: k.recentEvents()}
-				k.unwind()
-				return nil, err
-			}
-		}
+	var runErr error
+	if k.inline {
+		runErr = k.runInline(body)
+	} else {
+		runErr = k.eventLoop(body)
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	var end uint64
-	for _, p := range k.procs {
+	for i := range k.procs {
+		p := &k.procs[i]
 		k.applyDebt(p)
 		if p.clock > end {
 			end = p.clock
@@ -386,6 +389,197 @@ func (k *Kernel) RunErr(name string, body func(p *Proc)) (*stats.Run, error) {
 	return k.run, nil
 }
 
+// runInline executes a single-processor run directly on the kernel
+// goroutine: with no other processor to interleave with, the horizon is
+// unbounded, no yield point ever fires, and the body runs to completion in
+// one slice with zero continuation switches and zero allocations. A park is
+// necessarily a deadlock and surfaces as the inlineAbort sentinel; any other
+// panic is the body's own.
+func (k *Kernel) runInline(body func(p *Proc)) (err error) {
+	p := &k.procs[0]
+	defer func() {
+		if r := recover(); r != nil {
+			if ab, ok := r.(inlineAbort); ok {
+				err = ab.err
+				return
+			}
+			err = &ProcPanicError{Proc: 0, Value: r, Stack: string(debug.Stack()), Recent: k.recentEvents()}
+		}
+	}()
+	// The run's single scheduling pick.
+	if k.sampler != nil && p.clock >= k.nextSample {
+		k.sample(p.clock)
+	}
+	if k.cfg.Check {
+		if cerr := k.checkTick(p); cerr != nil {
+			return cerr
+		}
+	}
+	k.applyDebt(p)
+	p.state = stRunning
+	p.sliceStart = p.clock
+	k.horizon = noHorizon
+	body(p)
+	p.state = stDone
+	return nil
+}
+
+// eventLoop is the multi-processor scheduler: pop the ready processor with
+// the smallest (clock, id) from the heap, resume it — either by draining its
+// pending access batch in place on the kernel goroutine, or by switching
+// into its continuation — and file it back according to how it yielded.
+func (k *Kernel) eventLoop(body func(p *Proc)) error {
+	for i := range k.procs {
+		k.procs[i].start(body)
+	}
+	k.ready = k.ready[:0]
+	for i := range k.procs {
+		k.heapPush(&k.procs[i])
+	}
+	live := len(k.procs)
+	for live > 0 {
+		p := k.pickReady()
+		if p == nil {
+			err := &DeadlockError{Dump: k.stateDump(), Recent: k.recentEvents()}
+			k.unwind()
+			return err
+		}
+		// p's clock is the minimum over ready processors, i.e. the floor of
+		// global virtual time: sample the breakdown when it crosses the
+		// next interval boundary.
+		if k.sampler != nil && p.clock >= k.nextSample {
+			k.sample(p.clock)
+		}
+		if k.cfg.Check {
+			if err := k.checkTick(p); err != nil {
+				k.unwind()
+				return err
+			}
+		}
+		k.applyDebt(p)
+		p.state = stRunning
+		p.sliceStart = p.clock
+		var op opKind
+		if p.op == opBatch {
+			op = k.runBatch(p)
+		} else {
+			op = p.resumeCoro()
+		}
+		switch op {
+		case opYield, opBatch:
+			p.state = stReady
+			k.heapPush(p)
+		case opPark:
+			// state already stParked, set by the blocking path.
+		case opDone:
+			p.state = stDone
+			live--
+			if p.panicked != nil {
+				err := &ProcPanicError{Proc: p.id, Value: p.panicked, Stack: p.stack, Recent: k.recentEvents()}
+				k.unwind()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runBatch advances p's pending access batch on the kernel goroutine. When
+// the batch completes it switches into p's continuation so the body resumes
+// in the same scheduling round, exactly as the old per-goroutine kernel
+// continued a body after its range finished. A platform panic while draining
+// (the batch runs platform code kernel-side) is attributed to p.
+func (k *Kernel) runBatch(p *Proc) (op opKind) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked = r
+			p.stack = string(debug.Stack())
+			op = opDone
+		}
+	}()
+	if k.stepBatch(p) {
+		return p.resumeCoro()
+	}
+	return opBatch
+}
+
+// stepBatch advances p's access batch until it completes (true) or p must
+// yield (false, with p.op set to opBatch). It replays exactly the cost and
+// yield structure of the scalar access path: fast accesses never yield, a
+// protocol access waits at a syncPoint until p is at the virtual-time floor,
+// and a checkpoint after each protocol access bounds the slice by Quantum.
+func (k *Kernel) stepBatch(p *Proc) bool {
+	b := &p.batch
+	c := p.stp
+	line := k.lineSize
+	quantum := k.cfg.Quantum
+	plat := k.plat
+	for b.addr < b.end {
+		if !b.pendingSlow {
+			if k.ranger != nil {
+				// Bulk fast path: the fast prefix of a batch has no yield
+				// points, so the platform may process it in one call.
+				n, stall := k.ranger.FastRange(p.id, p.clock, b.addr, b.end, b.write)
+				if n > 0 {
+					if b.write {
+						c.Counters.Writes += uint64(n)
+					} else {
+						c.Counters.Reads += uint64(n)
+					}
+					p.clock += stall
+					c.Cycles[stats.CacheStall] += stall
+					b.addr += uint64(n) * line
+					if b.addr >= b.end {
+						break
+					}
+				}
+				// The line at b.addr needs protocol processing.
+				if b.write {
+					c.Counters.Writes++
+				} else {
+					c.Counters.Reads++
+				}
+				b.pendingSlow = true
+			} else {
+				if b.write {
+					c.Counters.Writes++
+				} else {
+					c.Counters.Reads++
+				}
+				if stall, ok := plat.FastAccess(p.id, p.clock, b.addr, b.write); ok {
+					p.clock += stall
+					c.Cycles[stats.CacheStall] += stall
+					b.addr += line
+					continue
+				}
+				b.pendingSlow = true
+			}
+		}
+		// syncPoint: protocol events process in virtual-time order.
+		if p.clock > k.horizon {
+			p.op = opBatch
+			return false
+		}
+		cost := plat.SlowAccess(p.id, p.clock, b.addr, b.write)
+		if k.cfg.FreeCSFaults && k.locksHeld[p.id] > 0 {
+			// Paper diagnostic: faults inside critical sections are free.
+			cost = AccessCost{}
+		}
+		p.clock += cost.Total()
+		c.Cycles[stats.CacheStall] += cost.CacheStall
+		c.Cycles[stats.DataWait] += cost.DataWait
+		c.Cycles[stats.Handler] += cost.Handler
+		b.pendingSlow = false
+		b.addr += line
+		// checkpoint: quantum-bounded yield after protocol work.
+		if p.clock > k.horizon && p.clock-p.sliceStart >= quantum {
+			p.op = opBatch
+			return false
+		}
+	}
+	return true
+}
+
 // ringSink widens the concrete ring to a Sink, keeping the nil case a nil
 // interface so Tee drops it (a nil *Ring in a Sink slot would not be nil).
 func ringSink(r *trace.Ring) trace.Sink {
@@ -395,53 +589,86 @@ func ringSink(r *trace.Ring) trace.Sink {
 	return r
 }
 
-// unwind releases every not-yet-done processor goroutine after a failed run.
-// Each one is blocked receiving on its resume channel — parked on a lock or
-// barrier, ready after a yield, or never started. Resuming it with the
-// aborting flag set makes it panic with the abortSim sentinel (recovered
-// silently by its goroutine wrapper) or skip its body, then report opDone,
-// so no goroutine outlives the run.
+// unwind stops every processor continuation after a failed run. Stopping a
+// continuation makes its pending (or next) yield return false, which raises
+// the abortSim sentinel inside the body; the continuation wrapper recovers
+// it silently, so no coroutine outlives the run. Continuations that never
+// started simply never run their body.
 func (k *Kernel) unwind() {
-	k.aborting = true
-	for _, p := range k.procs {
-		if p.state == stDone {
-			continue
+	for i := range k.procs {
+		p := &k.procs[i]
+		if p.stop != nil {
+			p.stop()
 		}
-		p.resume <- struct{}{}
-		<-k.yield
 		p.state = stDone
 	}
 }
 
-// pickReady returns the ready processor with the smallest clock (ties by id)
-// and records the runner-up clock as the yield horizon.
-func (k *Kernel) pickReady() *Proc {
-	var best *Proc
-	second := ^uint64(0)
-	for _, p := range k.procs {
-		if p.state != stReady {
-			continue
+// procLess orders the ready heap by (clock, id): the processor at the floor
+// of global virtual time runs next, ties broken by processor number.
+func procLess(a, b *Proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+// heapPush files p into the ready heap.
+func (k *Kernel) heapPush(p *Proc) {
+	k.ready = append(k.ready, p)
+	i := len(k.ready) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !procLess(k.ready[i], k.ready[parent]) {
+			break
 		}
-		if best == nil || p.clock < best.clock {
-			if best != nil && best.clock < second {
-				second = best.clock
-			}
-			best = p
-		} else if p.clock < second {
-			second = p.clock
-		}
+		k.ready[i], k.ready[parent] = k.ready[parent], k.ready[i]
+		i = parent
 	}
-	k.horizon = second
+}
+
+// pickReady pops the ready processor with the smallest (clock, id) and
+// records the new heap minimum as the yield horizon — the clock the running
+// processor must not outrun past its quantum.
+func (k *Kernel) pickReady() *Proc {
+	n := len(k.ready)
+	if n == 0 {
+		k.horizon = noHorizon
+		return nil
+	}
+	best := k.ready[0]
+	last := k.ready[n-1]
+	k.ready = k.ready[:n-1]
+	n--
+	if n == 0 {
+		k.horizon = noHorizon
+		return best
+	}
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && procLess(k.ready[r], k.ready[c]) {
+			c = r
+		}
+		if !procLess(k.ready[c], last) {
+			break
+		}
+		k.ready[i] = k.ready[c]
+		i = c
+	}
+	k.ready[i] = last
+	k.horizon = k.ready[0].clock
 	return best
 }
 
-// noteReady marks p runnable and lowers the current yield horizon so the
-// running processor yields to p at its next checkpoint. Without this, a
-// processor that wakes others (last barrier arriver, lock releaser) could
-// keep running unboundedly in host order while the woken processors'
-// virtual clocks fall behind.
+// noteReady marks a parked processor runnable and lowers the current yield
+// horizon so the running processor yields to it at its next checkpoint.
+// Without this, a processor that wakes others (last barrier arriver, lock
+// releaser) could keep running unboundedly in host order while the woken
+// processors' virtual clocks fall behind.
 func (k *Kernel) noteReady(p *Proc) {
 	p.state = stReady
+	k.heapPush(p)
 	if p.clock < k.horizon {
 		k.horizon = p.clock
 	}
@@ -457,7 +684,8 @@ func (k *Kernel) applyDebt(p *Proc) {
 
 func (k *Kernel) stateDump() string {
 	var b strings.Builder
-	for _, p := range k.procs {
+	for i := range k.procs {
+		p := &k.procs[i]
 		fmt.Fprintf(&b, "proc %d: state=%d clock=%d\n", p.id, p.state, p.clock)
 	}
 	fmt.Fprintf(&b, "barrier: %d arrived\n", k.bar.count)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/stats"
@@ -150,9 +152,16 @@ func TestHandlerDebt(t *testing.T) {
 func TestKernelReuseAcrossRuns(t *testing.T) {
 	k := New(&NopPlatform{}, Config{NumProcs: 4})
 	r1 := k.Run("a", func(p *Proc) { p.Compute(10); p.Barrier() })
+	// The kernel owns the returned Run and reuses it on the next Run call
+	// (that is what keeps repeated runs allocation-free), so results must
+	// be copied out before re-running.
+	end1 := r1.EndTime
 	r2 := k.Run("b", func(p *Proc) { p.Compute(10); p.Barrier() })
-	if r1.EndTime != r2.EndTime {
-		t.Errorf("reused kernel gives different results: %d vs %d", r1.EndTime, r2.EndTime)
+	if r1 != r2 {
+		t.Errorf("reused kernel returned a fresh Run; expected the same reused object")
+	}
+	if end1 != r2.EndTime {
+		t.Errorf("reused kernel gives different results: %d vs %d", end1, r2.EndTime)
 	}
 }
 
@@ -179,6 +188,58 @@ func TestBarrierManagerExplicitZero(t *testing.T) {
 	if k.Config().BarrierManager != 3 {
 		t.Errorf("explicit manager 3 = %d, want 3", k.Config().BarrierManager)
 	}
+}
+
+// TestBarrierManagerOutOfRangeIsConfigError pins the fix for the second
+// silent-misconfiguration bug in this family: an explicit BarrierManager at
+// or beyond NumProcs used to be clamped to NumProcs-1, quietly running the
+// manager-placement analysis on the wrong processor. It must now surface
+// from RunErr as a structured *ConfigError naming the field.
+func TestBarrierManagerOutOfRangeIsConfigError(t *testing.T) {
+	for _, bad := range []int{4, 5, 100} {
+		k := New(&NopPlatform{}, Config{NumProcs: 4, BarrierManager: bad})
+		ran := false
+		run, err := k.RunErr("bad-config", func(p *Proc) { ran = true })
+		if run != nil || err == nil {
+			t.Fatalf("BarrierManager=%d: RunErr = (%v, %v), want (nil, *ConfigError)", bad, run, err)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("BarrierManager=%d: error %T %q is not a *ConfigError", bad, err, err)
+		}
+		if ce.Field != "BarrierManager" {
+			t.Errorf("BarrierManager=%d: ConfigError.Field = %q, want BarrierManager", bad, ce.Field)
+		}
+		for _, frag := range []string{"invalid config", "BarrierManager", "NumProcs=4"} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("BarrierManager=%d: error %q missing %q", bad, err, frag)
+			}
+		}
+		if ran {
+			t.Errorf("BarrierManager=%d: body ran despite invalid config", bad)
+		}
+	}
+	// The boundary value NumProcs-1 is a real processor and must still work.
+	k := New(&NopPlatform{}, Config{NumProcs: 4, BarrierManager: 3})
+	if _, err := k.RunErr("edge", func(p *Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("BarrierManager=NumProcs-1: %v", err)
+	}
+}
+
+// TestRunPanicsOnConfigError: the panicking Run wrapper must forward the
+// structured config error, not swallow it.
+func TestRunPanicsOnConfigError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run with invalid config did not panic")
+		}
+		if _, ok := r.(*ConfigError); !ok {
+			t.Fatalf("Run panicked with %T %v, want *ConfigError", r, r)
+		}
+	}()
+	k := New(&NopPlatform{}, Config{NumProcs: 2, BarrierManager: 7})
+	k.Run("bad-config", func(p *Proc) {})
 }
 
 func TestUnlockNotHeldPanics(t *testing.T) {

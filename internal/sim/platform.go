@@ -1,7 +1,9 @@
 // Package sim implements the execution-driven simulation kernel shared by
-// the three platform models. Each simulated processor is a goroutine with a
-// virtual cycle clock; exactly one goroutine runs at a time, and the kernel
-// always resumes the runnable processor with the smallest virtual time.
+// the three platform models. Each simulated processor is plain state with a
+// virtual cycle clock, scheduled by an explicit event loop: the kernel pops
+// the runnable processor with the smallest virtual time from a priority
+// heap and resumes its continuation (or drains its pending access batch in
+// place); exactly one processor executes at a time.
 // Applications charge compute cycles explicitly and issue simulated memory
 // references and synchronization operations; the bound Platform translates
 // those into stall, wait and protocol-handler cycles following its machine
@@ -77,6 +79,23 @@ type Platform interface {
 	// (e.g. invalidating pages named in received write notices) and
 	// returns their cost (charged to Barrier Wait Time).
 	BarrierDepart(p int, releaseTime uint64) uint64
+}
+
+// RangeAccessor is an optional Platform extension: a platform that can
+// process a run of consecutive line accesses entirely on the fast path in
+// one call. FastRange must behave exactly like calling FastAccess line by
+// line from addr (line-aligned) while it keeps returning ok=true — same
+// per-line state transitions, stall sum, and counter updates — and stop at
+// the first line that would need SlowAccess, without touching that line's
+// state. It returns the number of lines processed and their total stall.
+//
+// The kernel may use it because the fast prefix of an access batch has no
+// yield points: scheduling, and therefore determinism, is unaffected.
+// Platforms whose fast-path cost depends on the passed clock must not
+// implement it unless they account for the clock advancing by each line's
+// stall.
+type RangeAccessor interface {
+	FastRange(p int, now uint64, addr, end uint64, write bool) (n int, stall uint64)
 }
 
 // NopPlatform is a zero-cost platform used by kernel unit tests: every

@@ -13,22 +13,44 @@ const (
 	opYield opKind = iota // cooperative yield; still ready
 	opPark                // blocked on a lock or barrier
 	opDone                // body returned
+	opBatch               // yielded mid-batch; the kernel drains the rest in place
 )
+
+// batchState is a resumable range access: the lines of [addr, end) not yet
+// touched, plus whether the line at addr has already taken its fast-path
+// miss decision and is waiting for protocol processing at a syncPoint.
+type batchState struct {
+	addr        uint64
+	end         uint64
+	write       bool
+	pendingSlow bool
+}
 
 // Proc is the handle a simulated process uses to charge compute time, issue
 // memory references and synchronize. All methods must be called from the
-// process's own body function.
+// process's own body function. A Proc is plain state owned by the kernel's
+// event loop — in multi-processor runs the body executes on a resumable
+// continuation, in single-processor runs directly on the kernel goroutine.
 type Proc struct {
 	id    int
 	k     *Kernel
 	clock uint64
 	state procState
+	op    opKind
 
-	resume     chan struct{}
-	op         opKind
-	sliceStart uint64 // clock at last resume, for quantum bounding
-	panicked   any
-	stack      string // goroutine stack captured when panicked is set
+	sliceStart uint64      // clock at last pick, for quantum bounding
+	stp        *stats.Proc // this processor's accounting record for the run
+
+	// Continuation (multi-processor runs only). yield suspends the body and
+	// returns control to the event loop; next resumes it; stop unwinds it.
+	yield func(struct{}) bool
+	next  func() (struct{}, bool)
+	stop  func()
+
+	panicked any
+	stack    string // stack captured where panicked was recovered
+
+	batch batchState // pending resumable range access, valid while op == opBatch
 }
 
 // ID returns the processor number (0-based).
@@ -43,28 +65,33 @@ func (p *Proc) Now() uint64 { return p.clock }
 // Kernel returns the owning kernel (for platform-aware applications).
 func (p *Proc) Kernel() *Kernel { return p.k }
 
-func (p *Proc) st() *stats.Proc { return &p.k.run.Procs[p.id] }
-
-// yieldNow hands control back to the scheduler, remaining ready.
-func (p *Proc) yieldNow() {
-	p.op = opYield
-	p.k.yield <- p
-	<-p.resume
-	if p.k.aborting {
-		// Poisoned resume: the kernel is unwinding a failed run.
+// switchOut suspends the body and returns control to the event loop with
+// whatever p.op the caller has set. A false return means the kernel is
+// unwinding a failed run: raise the abortSim sentinel, recovered silently
+// by the continuation wrapper in start.
+func (p *Proc) switchOut() {
+	if !p.yield(struct{}{}) {
 		panic(abortSim{})
 	}
 }
 
-// park blocks until another process makes this one ready again.
+// yieldNow hands control back to the scheduler, remaining ready.
+func (p *Proc) yieldNow() {
+	p.op = opYield
+	p.switchOut()
+}
+
+// park blocks until another process makes this one ready again. In a
+// single-processor run there is nobody to do that, so parking is reported
+// immediately as the deadlock it is.
 func (p *Proc) park() {
 	p.state = stParked
-	p.op = opPark
-	p.k.yield <- p
-	<-p.resume
-	if p.k.aborting {
-		panic(abortSim{})
+	k := p.k
+	if k.inline {
+		panic(inlineAbort{err: &DeadlockError{Dump: k.stateDump(), Recent: k.recentEvents()}})
 	}
+	p.op = opPark
+	p.switchOut()
 }
 
 // checkpoint yields if this processor has run past the next-ready
@@ -88,13 +115,13 @@ func (p *Proc) syncPoint() {
 // Compute charges n cycles of application instruction execution.
 func (p *Proc) Compute(n uint64) {
 	p.clock += n
-	p.st().Cycles[stats.Compute] += n
+	p.stp.Cycles[stats.Compute] += n
 	p.checkpoint()
 }
 
 // access performs one line-sized reference.
 func (p *Proc) access(addr uint64, write bool) {
-	c := p.st()
+	c := p.stp
 	if write {
 		c.Counters.Writes++
 	} else {
@@ -124,16 +151,25 @@ func (p *Proc) Read(addr uint64) { p.access(addr, false) }
 // Write issues a write of the (word-sized) datum at addr.
 func (p *Proc) Write(addr uint64) { p.access(addr, true) }
 
-// rangeAccess touches every cache line overlapping [addr, addr+n).
+// rangeAccess touches every cache line overlapping [addr, addr+n), as a
+// resumable batch: the batch advances in place until it needs to wait for
+// virtual time, then yields to the event loop, which keeps draining it
+// kernel-side across scheduling rounds and only switches back into the body
+// once the batch is finished.
 func (p *Proc) rangeAccess(addr uint64, n int, write bool) {
 	if n <= 0 {
 		return
 	}
-	line := p.k.lineSize
-	first := addr &^ (line - 1)
-	end := addr + uint64(n)
-	for a := first; a < end; a += line {
-		p.access(a, write)
+	k := p.k
+	b := &p.batch
+	b.addr = addr &^ (k.lineSize - 1)
+	b.end = addr + uint64(n)
+	b.write = write
+	b.pendingSlow = false
+	for !k.stepBatch(p) {
+		// stepBatch set op = opBatch; on resume the kernel has usually
+		// drained the rest already and the re-check returns immediately.
+		p.switchOut()
 	}
 }
 
@@ -142,13 +178,13 @@ func (p *Proc) rangeAccess(addr uint64, n int, write bool) {
 // walk, without simulating every repeated access.
 func (p *Proc) Stall(n uint64) {
 	p.clock += n
-	p.st().Cycles[stats.CacheStall] += n
+	p.stp.Cycles[stats.CacheStall] += n
 	p.checkpoint()
 }
 
 // CacheStallCycles returns the accumulated CPU-cache stall time, letting
 // applications measure the cost of a probe walk (see Stall).
-func (p *Proc) CacheStallCycles() uint64 { return p.st().Cycles[stats.CacheStall] }
+func (p *Proc) CacheStallCycles() uint64 { return p.stp.Cycles[stats.CacheStall] }
 
 // ReadRange reads every cache line overlapping [addr, addr+n).
 func (p *Proc) ReadRange(addr uint64, n int) { p.rangeAccess(addr, n, false) }
@@ -163,7 +199,7 @@ func (p *Proc) Lock(id int) {
 	k := p.k
 	l := k.lockFor(id)
 	reqCost := k.plat.LockRequest(p.id, p.clock, id)
-	c := p.st()
+	c := p.stp
 	c.Counters.LockAcquires++
 	k.Emit(trace.LockRequest, p.id, start, uint64(id), reqCost)
 	if l.held {
@@ -199,7 +235,7 @@ func (p *Proc) Unlock(id int) {
 		panic("sim: Unlock of a lock not held by this processor")
 	}
 	sync, handler, freeDelay := k.plat.LockRelease(p.id, p.clock, id)
-	c := p.st()
+	c := p.stp
 	p.clock += sync + handler
 	c.Cycles[stats.LockWait] += sync
 	c.Cycles[stats.Handler] += handler
@@ -246,7 +282,7 @@ func (p *Proc) Barrier() {
 	k := p.k
 	start := p.clock
 	syncCost, handler := k.plat.BarrierArrive(p.id, p.clock)
-	c := p.st()
+	c := p.stp
 	c.Counters.Barriers++
 	c.Cycles[stats.Handler] += handler
 	c.Cycles[stats.BarrierWait] += syncCost
@@ -303,7 +339,7 @@ func (p *Proc) RecordPhase(name string, cycles uint64) {
 // CountTask records task-queue behaviour for the run (paper's task-stealing
 // analyses).
 func (p *Proc) CountTask(stolen bool) {
-	c := p.st()
+	c := p.stp
 	c.Counters.TasksRun++
 	if stolen {
 		c.Counters.TasksStolen++

@@ -62,6 +62,63 @@ func TestPropertyDeterministicRandomPrograms(t *testing.T) {
 	}
 }
 
+// TestPropertyQuantumInvariance drives the same randomized SPMD programs at
+// the quantum's edge values — 1 (yield at every opportunity past the
+// horizon) and effectively infinite (yield only at synchronization points) —
+// and requires statistics identical to the default slice. Every
+// globally-visible event (lock, barrier, slow access) is pinned to the
+// virtual-time floor by a syncPoint, and every fast-path charge is purely
+// processor-local, so the quantum must be a pure scheduling knob. A failure
+// here means a syncPoint was lost and event order now depends on slice
+// length.
+func TestPropertyQuantumInvariance(t *testing.T) {
+	f := func(seed uint32, np8 uint8) bool {
+		np := int(np8)%7 + 2
+		prog := func(p *Proc) {
+			s := uint64(seed) + 1
+			for i := 0; i < 25; i++ {
+				s ^= s << 13
+				s ^= s >> 7
+				s ^= s << 17
+				switch s % 5 {
+				case 0:
+					p.Compute((s + uint64(p.ID())*31) % 500)
+				case 1:
+					p.Lock(int(s % 3))
+					p.Compute(s % 100)
+					p.Unlock(int(s % 3))
+				case 2:
+					p.ReadRange(uint64(p.ID())*4096, int(s%300)+32)
+				case 3:
+					p.Barrier()
+				case 4:
+					p.Write(s % 8192)
+				}
+			}
+			p.Barrier()
+		}
+		runAt := func(q uint64) *stats.Run {
+			return New(&stripePlatform{slowEvery: 3, slowCost: 90}, Config{NumProcs: np, Quantum: q}).Run("q", prog)
+		}
+		def := runAt(0) // kernel default
+		for _, q := range []uint64{1, 7, 1 << 40} {
+			r := runAt(q)
+			if r.EndTime != def.EndTime {
+				return false
+			}
+			for i := range r.Procs {
+				if r.Procs[i] != def.Procs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertyLockWaitConservation: with a nop platform, total lock wait
 // equals total serialization delay, so it can never exceed (np-1) times the
 // longest critical-section sum.

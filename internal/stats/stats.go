@@ -149,6 +149,20 @@ func NewRun(name string, p int) *Run {
 	return &Run{Name: name, NumProcs: p, Procs: make([]Proc, p), PhaseTimes: map[string]uint64{}}
 }
 
+// Reset reinitializes r in place for a new run of p processors, reusing the
+// per-processor records and phase table so a kernel that runs repeatedly
+// allocates nothing per run. p must not exceed cap(r.Procs).
+func (r *Run) Reset(name string, p int) {
+	r.Name = name
+	r.NumProcs = p
+	r.EndTime = 0
+	r.Procs = r.Procs[:p]
+	for i := range r.Procs {
+		r.Procs[i] = Proc{}
+	}
+	clear(r.PhaseTimes)
+}
+
 // TotalCycles sums a category over all processors.
 func (r *Run) TotalCycles(c Category) uint64 {
 	var t uint64
