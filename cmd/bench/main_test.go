@@ -72,6 +72,43 @@ func TestCompareNewBenchmarkReportedNotGated(t *testing.T) {
 	}
 }
 
+// TestCompareServeOneSided pins the fleet gate's contract: only a warm
+// throughput drop beyond tolerance fails. Faster runs and p99 swings in
+// either direction never do — latency is host-noisy and only reported.
+func TestCompareServeOneSided(t *testing.T) {
+	var ref ServeBench
+	ref.Warm.ReqPerSec = 8519.1
+	ref.Warm.Latency.P99 = 12.0
+
+	fast := ServeRun{ReqPerSec: 20000}
+	fast.Latency.P99 = 99.0 // much worse p99 must not gate
+	if lines, failed := compareServe(ref, fast, 0.5); failed {
+		t.Fatalf("serve gate failed on a 2.3x throughput improvement:\n%s", strings.Join(lines, "\n"))
+	}
+
+	slow := ServeRun{ReqPerSec: 4000}
+	if _, failed := compareServe(ref, slow, 0.5); !failed {
+		t.Fatal("serve gate passed a -53% throughput drop at 50% tolerance")
+	}
+	borderline := ServeRun{ReqPerSec: 4300}
+	if _, failed := compareServe(ref, borderline, 0.5); failed {
+		t.Fatal("serve gate failed a -49.5% drop at 50% tolerance (gate must be > tol, not >=)")
+	}
+}
+
+func TestCompareServeReportsP99(t *testing.T) {
+	var ref ServeBench
+	ref.Warm.ReqPerSec = 100
+	ref.Warm.Latency.P99 = 7.5
+	cur := ServeRun{ReqPerSec: 100}
+	cur.Latency.P99 = 9.25
+	lines, _ := compareServe(ref, cur, 0.1)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "7.50") || !strings.Contains(joined, "9.25") || !strings.Contains(joined, "not gated") {
+		t.Fatalf("p99 not reported:\n%s", joined)
+	}
+}
+
 // TestCompareDeterministicOrder: gate output is sorted by name so CI diffs
 // between runs are stable.
 func TestCompareDeterministicOrder(t *testing.T) {

@@ -1,20 +1,34 @@
-// Command loadgen hammers a serve instance with a mix of /run cells and
-// reports throughput and latency percentiles, so the cache and request
-// coalescing are benchmarked rather than assumed. Run it twice against the
-// same store-backed server to measure cold vs warm service:
+// Command loadgen hammers a serve instance — or a whole serve fleet — with
+// a mix of /run cells and reports throughput and latency percentiles, so
+// the cache, request coalescing, and cluster routing are benchmarked rather
+// than assumed. Run it twice against the same store-backed fleet to measure
+// cold vs warm service:
 //
-//	loadgen -addr http://127.0.0.1:8080 \
+//	loadgen -addrs http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
 //	        -cells "lu/orig@svm:8,ocean/rows@svm:8,radix/orig@svm:8" \
-//	        -scale 0.25 -c 8 -n 2000
+//	        -scale 0.25 -c 16 -n 20000 -zipf 1.2 -seed 1 -json
 //
-// Each worker rotates through the cell mix from a different offset, so all
-// cells see traffic under any concurrency.
+// Requests round-robin across the fleet's nodes. With -zipf, cell
+// popularity is skewed by a seeded Zipf generator (the first cell of the
+// mix is the most popular) — the realistic shape for a cache-backed
+// service, and the adversarial one for a sharded fleet, since the hot
+// cell's owner takes the brunt through forwarding. Without it, workers
+// rotate through the mix evenly.
+//
+// After the run, loadgen scrapes every node's /metrics and reports the
+// fleet-wide simulation count and simulations-per-unique-cell — the
+// cluster's cache-perfection invariant (exactly 1 on a cold store, 0 warm).
+// -json emits the whole report machine-readable on stdout; BENCH_serve.json
+// at the repo root is a committed pair of such reports (cold + warm).
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -73,6 +87,32 @@ func parseCells(s string) ([]cell, error) {
 	return cells, nil
 }
 
+// parseAddrs splits -addrs, falling back to the single -addr.
+func parseAddrs(addrs, addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, strings.TrimSuffix(a, "/"))
+		}
+	}
+	if len(out) == 0 {
+		out = []string{strings.TrimSuffix(addr, "/")}
+	}
+	return out
+}
+
+// newPicker returns the cell-index chooser for one worker: a seeded Zipf
+// generator when s > 0 (rank 0 = the first cell = most popular), or
+// even rotation from a per-worker offset when s == 0. Each worker gets
+// its own deterministic stream — same seed, same workload, run to run.
+func newPicker(zipfS float64, seed int64, worker, ncells int) func(i int) int {
+	if zipfS > 0 {
+		z := rand.NewZipf(rand.New(rand.NewSource(seed+int64(worker)*7919)), zipfS, 1, uint64(ncells-1))
+		return func(int) int { return int(z.Uint64()) }
+	}
+	return func(i int) int { return (i + worker) % ncells }
+}
+
 // percentile returns the p-th percentile (0..100) of sorted durations.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
@@ -82,20 +122,136 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// scrapeMetric fetches base/metrics and returns the value of the first
+// sample named metric (exact name, no labels).
+func scrapeMetric(client *http.Client, base, metric string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if v, ok := parseMetricLine(sc.Text(), metric); ok {
+			return v, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %q not found at %s/metrics", metric, base)
+}
+
+// parseMetricLine matches one Prometheus text line against an exact,
+// label-less metric name.
+func parseMetricLine(line, metric string) (float64, bool) {
+	rest, ok := strings.CutPrefix(line, metric+" ")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// sumMetric totals a metric across the fleet; ok reports every node
+// answered.
+func sumMetric(client *http.Client, addrs []string, metric string) (total float64, ok bool) {
+	ok = true
+	for _, a := range addrs {
+		v, err := scrapeMetric(client, a, metric)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: scrape: %v\n", err)
+			ok = false
+			continue
+		}
+		total += v
+	}
+	return total, ok
+}
+
+// latencyMs is a percentile summary in milliseconds.
+type latencyMs struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+func summarize(lats []time.Duration) latencyMs {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	out := latencyMs{
+		P50: ms(percentile(lats, 50)),
+		P90: ms(percentile(lats, 90)),
+		P99: ms(percentile(lats, 99)),
+	}
+	if len(lats) > 0 {
+		out.Max = ms(lats[len(lats)-1])
+	}
+	return out
+}
+
+// nodeReport is one fleet member's slice of the load.
+type nodeReport struct {
+	Addr     string    `json:"addr"`
+	Requests int       `json:"requests"`
+	Latency  latencyMs `json:"latency_ms"`
+}
+
+// report is the machine-readable result (-json; committed as
+// BENCH_serve.json phases).
+type report struct {
+	Addrs             []string       `json:"addrs"`
+	Requests          int            `json:"requests"`
+	Workers           int            `json:"workers"`
+	UniqueCells       int            `json:"unique_cells"`
+	ZipfS             float64        `json:"zipf_s,omitempty"`
+	Seed              int64          `json:"seed"`
+	ElapsedSeconds    float64        `json:"elapsed_seconds"`
+	ReqPerSec         float64        `json:"req_per_sec"`
+	Latency           latencyMs      `json:"latency_ms"`
+	Status            map[string]int `json:"status"`
+	TransportErrors   int            `json:"transport_errors"`
+	PerNode           []nodeReport   `json:"per_node"`
+	FleetSimulations  float64        `json:"fleet_simulations"`
+	SimsPerUniqueCell float64        `json:"sims_per_unique_cell"`
+	ClusterForwards   float64        `json:"cluster_forwards"`
+	ClusterFallbacks  float64        `json:"cluster_fallbacks"`
+}
+
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "serve base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "serve base URL (single node)")
+	addrsFlag := flag.String("addrs", "", "comma-separated serve base URLs (cluster mode; overrides -addr)")
 	cellsFlag := flag.String("cells", "lu/orig@svm:8,ocean/rows@svm:8,radix/orig@svm:8", "comma-separated cell mix: app/version@platform:procs")
 	scale := flag.Float64("scale", 1, "problem size scale for every cell")
 	conc := flag.Int("c", 8, "concurrent client workers")
 	n := flag.Int("n", 1000, "total requests to issue")
+	zipfS := flag.Float64("zipf", 0, "Zipf skew for cell popularity (> 1; 0 = even rotation). First cell = most popular")
+	seed := flag.Int64("seed", 1, "seed for the Zipf cell-popularity generator")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report on stdout instead of text")
 	flag.Parse()
 
-	cells, err := parseCells(*cellsFlag)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(2)
 	}
-	urls := make([]string, len(cells))
+	cells, err := parseCells(*cellsFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fail(fmt.Errorf("-zipf must be > 1 (rand.Zipf's s parameter), got %g", *zipfS))
+	}
+	addrs := parseAddrs(*addrsFlag, *addr)
+
+	paths := make([]string, len(cells))
 	for i, c := range cells {
 		q := url.Values{}
 		q.Set("app", c.app)
@@ -103,13 +259,20 @@ func main() {
 		q.Set("platform", c.platform)
 		q.Set("p", strconv.Itoa(c.procs))
 		q.Set("scale", strconv.FormatFloat(*scale, 'g', -1, 64))
-		urls[i] = *addr + "/run?" + q.Encode()
+		paths[i] = "/run?" + q.Encode()
 	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc}}
+
+	simsBefore, simsBeforeOK := sumMetric(client, addrs, "svmserve_simulations_total")
+	fwdBefore, _ := sumMetric(client, addrs, "svmserve_cluster_forward_total")
+	fbBefore, _ := sumMetric(client, addrs, "svmserve_cluster_fallback_total")
+
 	type sample struct {
 		d    time.Duration
 		code int
+		node int
+		cell int
 		err  bool
 	}
 	samples := make([]sample, *n)
@@ -132,23 +295,24 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			pick := newPicker(*zipfS, *seed, w, len(cells))
 			for {
 				i := take()
 				if i < 0 {
 					return
 				}
-				// Rotate through the mix from a per-worker offset.
-				u := urls[(i+w)%len(urls)]
+				ci := pick(i)
+				node := i % len(addrs)
 				t0 := time.Now()
-				resp, err := client.Get(u)
+				resp, err := client.Get(addrs[node] + paths[ci])
 				d := time.Since(t0)
 				if err != nil {
-					samples[i] = sample{d, 0, true}
+					samples[i] = sample{d, 0, node, ci, true}
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				samples[i] = sample{d, resp.StatusCode, false}
+				samples[i] = sample{d, resp.StatusCode, node, ci, false}
 			}
 		}(w)
 	}
@@ -158,7 +322,10 @@ func main() {
 	codes := map[int]int{}
 	var errs int
 	lats := make([]time.Duration, 0, *n)
+	nodeLats := make([][]time.Duration, len(addrs))
+	uniqueCells := map[int]bool{}
 	for _, s := range samples {
+		uniqueCells[s.cell] = true
 		if s.err {
 			errs++
 			continue
@@ -166,26 +333,78 @@ func main() {
 		codes[s.code]++
 		if s.code == 200 {
 			lats = append(lats, s.d)
+			nodeLats[s.node] = append(nodeLats[s.node], s.d)
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 
-	fmt.Printf("loadgen: %d requests, %d workers, %d cells, %.2fs\n", *n, *conc, len(cells), elapsed.Seconds())
-	fmt.Printf("  throughput: %.1f req/s\n", float64(*n)/elapsed.Seconds())
-	var codeKeys []int
-	for c := range codes {
-		codeKeys = append(codeKeys, c)
+	rep := report{
+		Addrs:            addrs,
+		Requests:         *n,
+		Workers:          *conc,
+		UniqueCells:      len(uniqueCells),
+		ZipfS:            *zipfS,
+		Seed:             *seed,
+		ElapsedSeconds:   elapsed.Seconds(),
+		ReqPerSec:        float64(*n) / elapsed.Seconds(),
+		Status:           map[string]int{},
+		TransportErrors:  errs,
+		FleetSimulations: -1,
 	}
-	sort.Ints(codeKeys)
-	for _, c := range codeKeys {
-		fmt.Printf("  status %d: %d\n", c, codes[c])
+	for c, cnt := range codes {
+		rep.Status[strconv.Itoa(c)] = cnt
 	}
-	if errs > 0 {
-		fmt.Printf("  transport errors: %d\n", errs)
+	for ni, a := range addrs {
+		nl := nodeLats[ni]
+		rep.PerNode = append(rep.PerNode, nodeReport{Addr: a, Requests: len(nl), Latency: summarize(nl)})
 	}
-	if len(lats) > 0 {
-		fmt.Printf("  latency p50=%s p90=%s p99=%s max=%s\n",
-			percentile(lats, 50), percentile(lats, 90), percentile(lats, 99), lats[len(lats)-1])
+	rep.Latency = summarize(lats) // sorts lats; do this after per-node slicing
+
+	simsAfter, simsAfterOK := sumMetric(client, addrs, "svmserve_simulations_total")
+	if simsBeforeOK && simsAfterOK {
+		rep.FleetSimulations = simsAfter - simsBefore
+		if rep.UniqueCells > 0 {
+			rep.SimsPerUniqueCell = rep.FleetSimulations / float64(rep.UniqueCells)
+		}
+	}
+	if fwdAfter, ok := sumMetric(client, addrs, "svmserve_cluster_forward_total"); ok {
+		rep.ClusterForwards = fwdAfter - fwdBefore
+	}
+	if fbAfter, ok := sumMetric(client, addrs, "svmserve_cluster_fallback_total"); ok {
+		rep.ClusterFallbacks = fbAfter - fbBefore
+	}
+
+	if *jsonOut {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(enc, '\n'))
+	} else {
+		fmt.Printf("loadgen: %d requests, %d workers, %d cells, %d node(s), %.2fs\n",
+			*n, *conc, len(cells), len(addrs), elapsed.Seconds())
+		fmt.Printf("  throughput: %.1f req/s\n", rep.ReqPerSec)
+		var codeKeys []int
+		for c := range codes {
+			codeKeys = append(codeKeys, c)
+		}
+		sort.Ints(codeKeys)
+		for _, c := range codeKeys {
+			fmt.Printf("  status %d: %d\n", c, codes[c])
+		}
+		if errs > 0 {
+			fmt.Printf("  transport errors: %d\n", errs)
+		}
+		if len(lats) > 0 {
+			fmt.Printf("  latency p50=%.3gms p90=%.3gms p99=%.3gms max=%.3gms\n",
+				rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+		}
+		for _, nr := range rep.PerNode {
+			fmt.Printf("  node %s: %d ok, p50=%.3gms p99=%.3gms\n", nr.Addr, nr.Requests, nr.Latency.P50, nr.Latency.P99)
+		}
+		if rep.FleetSimulations >= 0 {
+			fmt.Printf("  fleet simulations: %g for %d unique cell(s) = %.3g sims/cell (forwards %g, fallbacks %g)\n",
+				rep.FleetSimulations, rep.UniqueCells, rep.SimsPerUniqueCell, rep.ClusterForwards, rep.ClusterFallbacks)
+		}
 	}
 	if codes[200] == 0 {
 		os.Exit(1)

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Cluster. The zero value of each optional field
+// selects the documented default.
+type Config struct {
+	// Self is this node's advertised address (required), e.g.
+	// "127.0.0.1:8080". It must be the address peers would dial; it is
+	// added to Peers if absent.
+	Self string
+	// Peers is the static membership list: every member's advertised
+	// address, normally including Self. Order does not matter — placement
+	// is determined by the sorted member set.
+	Peers []string
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is how often each peer's /healthz is probed once Start
+	// is called (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip (default 1s).
+	ProbeTimeout time.Duration
+	// Client issues probes; nil means a dedicated client with
+	// ProbeTimeout. Tests inject one to fake peer health.
+	Client *http.Client
+}
+
+// peer is one remote member's probed state. Peers start up (optimistic):
+// a fleet that has not probed yet routes normally, and the first failed
+// probe — or a failed forward, which the serving layer survives by local
+// fallback — corrects the optimism.
+type peer struct {
+	addr string
+	up   atomic.Bool
+}
+
+// Cluster is the membership view one node holds: the ring over all
+// members plus the live/down state of every remote peer. All methods are
+// safe for concurrent use.
+type Cluster struct {
+	self          string
+	ring          *Ring
+	peers         map[string]*peer // remote members only (not self)
+	client        *http.Client
+	probeInterval time.Duration
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New validates cfg and builds the cluster view. It does not start
+// probing; call Start for that (a cluster that never probes treats every
+// peer as up, which is exactly right for in-process test fleets).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self address is required")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring := NewRing(members, cfg.VNodes)
+	if len(ring.Members()) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 distinct members, got %v", ring.Members())
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.ProbeTimeout}
+	}
+	c := &Cluster{
+		self:          cfg.Self,
+		ring:          ring,
+		peers:         map[string]*peer{},
+		client:        client,
+		probeInterval: cfg.ProbeInterval,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		if m == cfg.Self {
+			continue
+		}
+		p := &peer{addr: m}
+		p.up.Store(true)
+		c.peers[m] = p
+	}
+	return c, nil
+}
+
+// Self returns this node's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// Members returns every member address, sorted.
+func (c *Cluster) Members() []string { return c.ring.Members() }
+
+// isUp reports whether a member is routable. Self is always up: a node
+// that can run this code can serve its own keys.
+func (c *Cluster) isUp(node string) bool {
+	if node == c.self {
+		return true
+	}
+	if p, ok := c.peers[node]; ok {
+		return p.up.Load()
+	}
+	return false
+}
+
+// Owner returns the live member owning key — Self when this node owns it
+// (or when every other member is down, since Self is always up).
+func (c *Cluster) Owner(key string) string {
+	return c.ring.Owner(key, c.isUp)
+}
+
+// Health returns each remote peer's probed state; Self is omitted.
+func (c *Cluster) Health() map[string]bool {
+	out := make(map[string]bool, len(c.peers))
+	for addr, p := range c.peers {
+		out[addr] = p.up.Load()
+	}
+	return out
+}
+
+// BaseURL returns the dialable URL prefix for a member address, accepting
+// both bare "host:port" members and fully-schemed ones.
+func BaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// ProbeOnce probes every remote peer's /healthz synchronously and updates
+// up/down state: any 200 is up, anything else — including a 503 from a
+// draining node — is down. Exported so tests (and Start's loop) drive
+// probing deterministically.
+func (c *Cluster) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, BaseURL(p.addr)+"/healthz", nil)
+			if err != nil {
+				p.up.Store(false)
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				p.up.Store(false)
+				return
+			}
+			resp.Body.Close()
+			p.up.Store(resp.StatusCode == http.StatusOK)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Start launches the background prober: an immediate round, then one per
+// ProbeInterval until Stop. Calling Start more than once is a no-op.
+func (c *Cluster) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.probeInterval)
+		defer t.Stop()
+		c.ProbeOnce(context.Background())
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the prober started by Start and waits for it to exit. Safe
+// to call more than once, and a no-op when Start was never called.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if !c.started.Load() {
+		return
+	}
+	select {
+	case <-c.done:
+	case <-time.After(5 * time.Second):
+	}
+}

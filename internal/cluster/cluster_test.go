@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted an empty Self")
+	}
+	if _, err := New(Config{Self: "a:1"}); err == nil {
+		t.Error("New accepted a single-member cluster")
+	}
+	c, err := New(Config{Self: "a:1", Peers: []string{"b:2", "a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Members(); len(got) != 2 {
+		t.Errorf("Members() = %v, want [a:1 b:2]", got)
+	}
+	if !c.isUp("a:1") || !c.isUp("b:2") {
+		t.Error("members not initially up (self always, peers optimistically)")
+	}
+	if c.isUp("stranger:9") {
+		t.Error("non-member reported up")
+	}
+}
+
+// TestProbeFlipsPeerState: a probe marks a peer down on any non-200 (a
+// draining node's 503 included) and back up on recovery, and Owner skips
+// down peers — keys reassign to live members only.
+func TestProbeFlipsPeerState(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer peerSrv.Close()
+	peerAddr := strings.TrimPrefix(peerSrv.URL, "http://")
+
+	c, err := New(Config{Self: "self:1", Peers: []string{peerAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background())
+	if !c.Health()[peerAddr] {
+		t.Fatal("healthy peer probed down")
+	}
+
+	healthy.Store(false)
+	c.ProbeOnce(context.Background())
+	if c.Health()[peerAddr] {
+		t.Fatal("draining (503) peer still up after probe")
+	}
+	for _, k := range keys(200) {
+		if owner := c.Owner(k); owner != "self:1" {
+			t.Fatalf("key %q owned by %q while the only peer is down", k, owner)
+		}
+	}
+
+	healthy.Store(true)
+	c.ProbeOnce(context.Background())
+	if !c.Health()[peerAddr] {
+		t.Fatal("recovered peer still down after probe")
+	}
+	foreign := 0
+	for _, k := range keys(200) {
+		if c.Owner(k) == peerAddr {
+			foreign++
+		}
+	}
+	if foreign == 0 {
+		t.Error("recovered peer owns no keys")
+	}
+}
+
+// TestProbeUnreachablePeer: a peer nobody listens on goes down after one
+// probe round instead of wedging routing.
+func TestProbeUnreachablePeer(t *testing.T) {
+	c, err := New(Config{Self: "self:1", Peers: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background())
+	if c.Health()["127.0.0.1:1"] {
+		t.Error("unreachable peer still up after probe")
+	}
+	c.Stop() // Start never called: must not block
+}
+
+func TestBaseURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"127.0.0.1:8080": "http://127.0.0.1:8080",
+		"http://h:1":     "http://h:1",
+		"https://h:1/":   "https://h:1",
+		"example.test:9": "http://example.test:9",
+	} {
+		if got := BaseURL(in); got != want {
+			t.Errorf("BaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

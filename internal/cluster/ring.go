@@ -1,0 +1,119 @@
+// Package cluster turns N serve processes into one cache-perfect fleet: a
+// consistent-hash ring assigns every experiment cell (by its harness memo
+// key) to exactly one owner node, and a static-membership layer with
+// periodic /healthz probing tracks which nodes are routable. The serving
+// layer forwards non-owned requests to the owner, so the owner's existing
+// memo/coalescing tier becomes *cross-node* singleflight — a unique cold
+// cell is simulated exactly once cluster-wide — while an unreachable owner
+// degrades to local compute-and-cache, never to a client-visible error.
+//
+// The structure mirrors the paper's reading of modern shared-memory
+// systems (and the CXL-PCC follow-ups in PAPERS.md): hardware-fast
+// coherence inside a node — here, the in-process memo — and an explicit
+// software protocol between nodes — here, ownership hashing plus one
+// forwarded HTTP hop.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member when Config.VNodes is
+// zero: enough points that a 3-node ring splits keys within a few percent
+// of evenly, cheap enough that ring construction stays microseconds.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over member names. Placement
+// is deterministic: it depends only on the member names and the
+// virtual-node count, never on construction order or process state, so
+// every node of a fleet computes the identical ring from the same
+// membership list.
+type Ring struct {
+	vnodes int
+	points []point // sorted by (hash, node)
+	nodes  []string
+}
+
+// point is one virtual node: a position on the hash circle owned by node.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring of vnodes virtual nodes per member (DefaultVNodes
+// when vnodes <= 0). Duplicate member names are collapsed.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var nodes []string
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			nodes = append(nodes, m)
+		}
+	}
+	sort.Strings(nodes)
+	r := &Ring{vnodes: vnodes, nodes: nodes}
+	r.points = make([]point, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: pointHash(n, i), node: n})
+		}
+	}
+	// Tie-break equal hashes by node name so placement stays deterministic
+	// even on (astronomically unlikely) collisions.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// pointHash places virtual node i of a member on the circle. SHA-256 keeps
+// placement independent of Go's hash seed and identical across processes.
+func pointHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", node, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a key on the circle.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the first virtual node clockwise
+// from the key's hash whose member passes up (a nil up means every member
+// is routable). Skipping a down member this way is what bounds movement
+// under failure — only the keys the down member owned move, each to the
+// next live member clockwise, while every key owned by a live member keeps
+// its owner. Owner returns "" only when the ring is empty or no member is
+// up.
+func (r *Ring) Owner(key string, up func(node string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if up == nil || up(p.node) {
+			return p.node
+		}
+	}
+	return ""
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("app%d/orig@svm p=%d scale=1", i%7, i)
+	}
+	return out
+}
+
+// TestRingDeterministicPlacement: the owner of every key depends only on
+// the member set — not on member order or on which process computes it —
+// so every node of a fleet derives the identical routing table.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 64)
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2", "n2:2"}, 64)
+	for _, k := range keys(500) {
+		if ao, bo := a.Owner(k, nil), b.Owner(k, nil); ao != bo {
+			t.Fatalf("owner(%q) = %q vs %q for reordered members", k, ao, bo)
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, a 3-member ring splits keys
+// roughly evenly — no member starves or hoards.
+func TestRingDistribution(t *testing.T) {
+	members := []string{"n1:1", "n2:2", "n3:3"}
+	r := NewRing(members, 0) // DefaultVNodes
+	counts := map[string]int{}
+	ks := keys(9000)
+	for _, k := range ks {
+		counts[r.Owner(k, nil)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(ks))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys, want a roughly even split; counts=%v", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRingRebalance pins the failover invariants: when a member goes
+// down, (1) no key maps to it, (2) every key owned by a live member keeps
+// its owner (zero unnecessary movement), and (3) only the down member's
+// keys move — bounded movement ≈ its share of the ring.
+func TestRingRebalance(t *testing.T) {
+	members := []string{"n1:1", "n2:2", "n3:3"}
+	r := NewRing(members, 64)
+	ks := keys(9000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k, nil)
+	}
+
+	down := "n2:2"
+	up := func(n string) bool { return n != down }
+	moved := 0
+	for _, k := range ks {
+		after := r.Owner(k, up)
+		if after == down {
+			t.Fatalf("key %q maps to down member %s", k, down)
+		}
+		if before[k] != down && after != before[k] {
+			t.Fatalf("key %q moved %s -> %s although its owner stayed up", k, before[k], after)
+		}
+		if before[k] == down {
+			moved++
+		}
+	}
+	share := float64(moved) / float64(len(ks))
+	if share > 0.55 {
+		t.Errorf("down member owned %.1f%% of keys; movement should be bounded by its share", 100*share)
+	}
+	if moved == 0 {
+		t.Error("down member owned no keys; distribution test should have caught this")
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if o := NewRing(nil, 8).Owner("k", nil); o != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", o)
+	}
+	one := NewRing([]string{"solo:1"}, 8)
+	if o := one.Owner("k", nil); o != "solo:1" {
+		t.Errorf("single-member owner = %q", o)
+	}
+	if o := one.Owner("k", func(string) bool { return false }); o != "" {
+		t.Errorf("all-down owner = %q, want \"\"", o)
+	}
+}

@@ -69,6 +69,13 @@ func (s Spec) memoKey() string {
 		s.App, s.Version, s.Platform, s.NumProcs, s.Scale, s.FreeCSFaults, s.SkipVerify, s.Check, s.Quantum)
 }
 
+// MemoKey is the cache key Memo.Run would use for s, with defaults
+// applied — the string that names s's cell in the memo, the persistent
+// store, and the cluster ownership ring. Two specs that execute
+// identically (one spelled with defaults, one without) share a MemoKey,
+// so they share an owner node.
+func (s Spec) MemoKey() string { return s.withDefaults().memoKey() }
+
 // envCheck force-enables invariant checking for the whole process (the CI
 // checker leg). Read once: a value that flipped mid-process would let a
 // checked result alias an unchecked memo key.

@@ -25,6 +25,21 @@ func fakeRun(s Spec) *stats.Run {
 	return r
 }
 
+// TestMemoKeyAppliesDefaults: the exported MemoKey (the cluster ring's
+// routing key) must treat a defaulted spec and its explicit spelling as
+// the same cell, or equivalent requests would route to different owners.
+func TestMemoKeyAppliesDefaults(t *testing.T) {
+	short := Spec{App: "radix"}
+	full := Spec{App: "radix", Version: "orig", Platform: "svm", NumProcs: 16, Scale: 1}
+	if short.MemoKey() != full.MemoKey() {
+		t.Errorf("MemoKey(%+v) = %q, want %q", short, short.MemoKey(), full.MemoKey())
+	}
+	other := Spec{App: "radix", NumProcs: 8}
+	if short.MemoKey() == other.MemoKey() {
+		t.Error("MemoKey does not distinguish processor counts")
+	}
+}
+
 // TestMemoStampede is the cache-stampede test: N concurrent requests for
 // one cold cell must perform exactly one simulation, and every requester
 // must see byte-identical RunJSON.

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	_ "repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// fleet is an in-process cluster of n Servers, each with its own memo
+// (separate caches, like separate processes) and a shared static
+// membership list. Probing is never started: every peer stays in its
+// optimistic up state, which is the steady state of a healthy fleet.
+type fleet struct {
+	addrs   []string
+	servers []*Server
+	memos   []*harness.Memo
+	execs   []*atomic.Uint64
+	httpds  []*http.Server
+}
+
+// newFleet builds and starts an n-node fleet. When countOnly is true,
+// every node gets a fake executor that counts executions and returns a
+// deterministic result (fast); otherwise nodes run real simulations.
+func newFleet(t *testing.T, n int, countOnly bool) *fleet {
+	t.Helper()
+	f := &fleet{}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		f.addrs = append(f.addrs, l.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		execs := &atomic.Uint64{}
+		memo := harness.NewMemo(nil)
+		if countOnly {
+			memo.Exec = func(s harness.Spec) (*stats.Run, error) {
+				execs.Add(1)
+				r := stats.NewRun(s.App, s.NumProcs)
+				r.EndTime = 42
+				for p := range r.Procs {
+					r.Procs[p].Cycles[stats.Compute] = 42
+				}
+				return r, nil
+			}
+		} else {
+			memo.Exec = func(s harness.Spec) (*stats.Run, error) {
+				execs.Add(1)
+				return harness.Execute(s)
+			}
+		}
+		cl, err := cluster.New(cluster.Config{Self: f.addrs[i], Peers: f.addrs, VNodes: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(Config{Memo: memo, Cluster: cl, MaxInflight: 8, MaxQueue: 128})
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(listeners[i])
+		f.servers = append(f.servers, srv)
+		f.memos = append(f.memos, memo)
+		f.execs = append(f.execs, execs)
+		f.httpds = append(f.httpds, hs)
+	}
+	t.Cleanup(func() {
+		for _, hs := range f.httpds {
+			hs.Close()
+		}
+	})
+	return f
+}
+
+func (f *fleet) get(t *testing.T, node int, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + f.addrs[node] + path)
+	if err != nil {
+		t.Fatalf("GET node %d %s: %v", node, path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func (f *fleet) totalExecs() uint64 {
+	var total uint64
+	for _, e := range f.execs {
+		total += e.Load()
+	}
+	return total
+}
+
+// ownerIndex returns which fleet node owns spec.
+func (f *fleet) ownerIndex(t *testing.T, spec harness.Spec) int {
+	t.Helper()
+	owner := f.servers[0].cluster.Owner(spec.MemoKey())
+	for i, a := range f.addrs {
+		if a == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q not a fleet member %v", owner, f.addrs)
+	return -1
+}
+
+// nonOwnedSpec returns a spec owned by some node other than `not`, so a
+// request to `not` must forward.
+func (f *fleet) nonOwnedSpec(t *testing.T, not int) (harness.Spec, int) {
+	t.Helper()
+	for p := 1; p <= 64; p++ {
+		spec := harness.Spec{App: "radix", Version: "orig", Platform: "svm", NumProcs: p, Scale: 0.125}
+		if o := f.ownerIndex(t, spec); o != not {
+			return spec, o
+		}
+	}
+	t.Fatal("no spec found owned by another node")
+	return harness.Spec{}, -1
+}
+
+// TestFleetStampede is the cluster generalization of the single-node
+// stampede test: N nodes × M concurrent clients all asking every node for
+// the same cold cell must run exactly ONE simulation fleet-wide, and all
+// N×M responses must be byte-identical — cross-node singleflight falling
+// out of ownership routing plus the owner's memo tier.
+func TestFleetStampede(t *testing.T) {
+	const nodes, clientsPerNode = 3, 8
+	f := newFleet(t, nodes, true)
+
+	path := "/run?app=radix&p=2&scale=0.125"
+	var wg sync.WaitGroup
+	codes := make([]int, nodes*clientsPerNode)
+	bodies := make([][]byte, nodes*clientsPerNode)
+	for node := 0; node < nodes; node++ {
+		for c := 0; c < clientsPerNode; c++ {
+			wg.Add(1)
+			go func(i, node int) {
+				defer wg.Done()
+				codes[i], bodies[i] = f.get(t, node, path)
+			}(node*clientsPerNode+c, node)
+		}
+	}
+	wg.Wait()
+
+	for i := range bodies {
+		if codes[i] != 200 {
+			t.Fatalf("request %d = %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if got := f.totalExecs(); got != 1 {
+		t.Errorf("fleet executed %d simulations for one unique cell, want exactly 1", got)
+	}
+}
+
+// TestForwardByteIdentity: a real (non-stubbed) cell requested from a
+// non-owner node returns exactly the bytes `svmsim -json` prints — the
+// forwarded hop is invisible in the payload — and the simulation runs on
+// the owner, not the entry node.
+func TestForwardByteIdentity(t *testing.T) {
+	f := newFleet(t, 2, false)
+	spec, owner := f.nonOwnedSpec(t, 0)
+	entry := 0
+
+	run, err := harness.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := harness.RunJSON(spec, run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(wantJSON, '\n')
+
+	path := fmt.Sprintf("/run?app=%s&version=%s&platform=%s&p=%d&scale=%g",
+		spec.App, spec.Version, spec.Platform, spec.NumProcs, spec.Scale)
+	code, body := f.get(t, entry, path)
+	if code != 200 {
+		t.Fatalf("forwarded /run = %d: %s", code, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("forwarded body differs from svmsim -json bytes (%d vs %d bytes)", len(body), len(want))
+	}
+	if got := f.execs[owner].Load(); got != 1 {
+		t.Errorf("owner executed %d simulations, want 1", got)
+	}
+	if got := f.execs[entry].Load(); got != 0 {
+		t.Errorf("entry node executed %d simulations, want 0 (it must forward)", got)
+	}
+	if got := f.servers[entry].mx.forwards.Load(); got != 1 {
+		t.Errorf("entry node forward counter = %d, want 1", got)
+	}
+
+	// A second request through the entry node is served from its forward
+	// cache: same bytes, no second hop, owner still ran only 1 simulation.
+	code, warm := f.get(t, entry, path)
+	if code != 200 || !bytes.Equal(warm, want) {
+		t.Errorf("cached forwarded body differs (code %d)", code)
+	}
+	if got := f.servers[entry].mx.forwards.Load(); got != 1 {
+		t.Errorf("entry forward counter after warm hit = %d, want 1 (no re-forward)", got)
+	}
+	if got := f.servers[entry].mx.forwardHits.Load(); got != 1 {
+		t.Errorf("entry forward-cache hits = %d, want 1", got)
+	}
+	if got := f.execs[owner].Load(); got != 1 {
+		t.Errorf("owner executed %d simulations after warm hit, want 1", got)
+	}
+
+	// A request sent straight to the owner is served locally: same bytes,
+	// no new forward.
+	code, direct := f.get(t, owner, path)
+	if code != 200 || !bytes.Equal(direct, want) {
+		t.Errorf("direct-to-owner body differs (code %d)", code)
+	}
+	if got := f.servers[owner].mx.forwards.Load(); got != 0 {
+		t.Errorf("owner forward counter = %d, want 0", got)
+	}
+}
+
+// TestForwardLoopGuard: a request already marked X-Cluster-Forwarded is
+// computed locally even by a node that does not own the cell, so
+// disagreeing ring views can never bounce a request around the fleet.
+func TestForwardLoopGuard(t *testing.T) {
+	f := newFleet(t, 2, true)
+	spec, _ := f.nonOwnedSpec(t, 0)
+
+	req, err := http.NewRequest(http.MethodGet, "http://"+f.addrs[0]+"/run?"+specQuery(spec, false).Encode(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ForwardHeader, "test-origin")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarded-marked request = %d", resp.StatusCode)
+	}
+	if got := f.execs[0].Load(); got != 1 {
+		t.Errorf("non-owner executed %d simulations for a forwarded-marked request, want 1 (local)", got)
+	}
+	if got := f.servers[0].mx.forwards.Load(); got != 0 {
+		t.Errorf("non-owner re-forwarded a forwarded request (%d forwards)", got)
+	}
+}
+
+// TestFallbackOnDeadOwner: when the owner is unreachable but still marked
+// up (probe hasn't noticed yet), the forward fails and the entry node
+// falls back to local compute-and-cache — the client sees a normal 200,
+// never a cluster error — and counts cluster_fallback_total.
+func TestFallbackOnDeadOwner(t *testing.T) {
+	f := newFleet(t, 3, true)
+	spec, owner := f.nonOwnedSpec(t, 0)
+	f.httpds[owner].Close() // owner dies without its peers' knowledge
+
+	code, body := f.get(t, 0, "/run?"+specQuery(spec, false).Encode())
+	if code != 200 {
+		t.Fatalf("fallback /run = %d: %s", code, body)
+	}
+	if got := f.execs[0].Load(); got != 1 {
+		t.Errorf("entry node executed %d simulations, want 1 (local fallback)", got)
+	}
+	if got := f.servers[0].mx.fallbacks.Load(); got != 1 {
+		t.Errorf("fallback counter = %d, want 1", got)
+	}
+	if got := f.servers[0].mx.forwards.Load(); got != 0 {
+		t.Errorf("forward counter = %d, want 0 (the forward failed)", got)
+	}
+}
+
+// TestBatchRun: POST /run streams one NDJSON envelope per cell, each body
+// byte-identical to the single-cell GET response (including structured
+// 422 failures), with per-cell request errors carried in the envelope.
+func TestBatchRun(t *testing.T) {
+	f := newFleet(t, 2, false) // real executor: the bad-app cell must 422
+
+	batch := `[
+		{"app":"radix","version":"orig","platform":"svm","procs":2,"scale":0.125},
+		{"app":"radix","version":"orig","platform":"svm","procs":3,"scale":0.125},
+		{"app":"","procs":2},
+		{"app":"nosuchapp","procs":2}
+	]`
+	resp, err := http.Post("http://"+f.addrs[0]+"/run", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /run = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	results := map[int]BatchResult{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r BatchResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		results[r.Index] = r
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d result lines, want 4: %v", len(results), results)
+	}
+
+	// Cells 0 and 1 succeed; their bodies are the exact single-GET bytes.
+	for _, idx := range []int{0, 1} {
+		r := results[idx]
+		if r.Code != 200 || r.Error != "" {
+			t.Fatalf("cell %d = code %d error %q", idx, r.Code, r.Error)
+		}
+		_, want := f.get(t, 0, fmt.Sprintf("/run?app=radix&version=orig&platform=svm&p=%d&scale=0.125", 2+idx))
+		if r.Body != string(want) {
+			t.Errorf("cell %d batch body differs from GET body", idx)
+		}
+	}
+	// Cell 2 is malformed: envelope-level 400.
+	if r := results[2]; r.Code != 400 || r.Error == "" || r.Body != "" {
+		t.Errorf("malformed cell = %+v, want code 400 with error", r)
+	}
+	// Cell 3 fails deterministically: 422 with the structured error JSON.
+	if r := results[3]; r.Code != 422 || !strings.Contains(r.Body, `"error"`) {
+		t.Errorf("failing cell = %+v, want code 422 with error JSON body", r)
+	}
+
+	// Three unique cells reached an executor (two successes plus the
+	// deterministic nosuchapp failure, which is computed-and-cached like
+	// any result): exactly 3 executions fleet-wide, wherever the owners
+	// were. The malformed cell never executes.
+	if got := f.totalExecs(); got != 3 {
+		t.Errorf("fleet executed %d simulations for 3 unique cells, want 3", got)
+	}
+}
+
+// TestHealthzDrain pins the load-balancer contract: /healthz answers 200
+// until drain begins, 503 after, while /run keeps serving through the
+// drain window.
+func TestHealthzDrain(t *testing.T) {
+	f := newFleet(t, 2, true)
+	if code, body := f.get(t, 0, "/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("pre-drain healthz = %d %q", code, body)
+	}
+	f.servers[0].Drain()
+	if code, body := f.get(t, 0, "/healthz"); code != 503 || string(body) != "draining\n" {
+		t.Errorf("draining healthz = %d %q, want 503 \"draining\\n\"", code, body)
+	}
+	if code, _ := f.get(t, 0, "/run?app=radix&p=2&scale=0.125"); code != 200 {
+		t.Errorf("in-drain /run = %d, want 200 (drain only stops NEW routing, not service)", code)
+	}
+	if code, _ := f.get(t, 1, "/healthz"); code != 200 {
+		t.Errorf("peer healthz affected by another node's drain")
+	}
+	_, body := f.get(t, 0, "/metrics")
+	if !strings.Contains(string(body), "svmserve_draining 1") {
+		t.Error("/metrics missing svmserve_draining 1")
+	}
+}
+
+// TestClusterMetrics: the cluster counters and per-peer gauges appear in
+// /metrics in Prometheus text format.
+func TestClusterMetrics(t *testing.T) {
+	f := newFleet(t, 2, true)
+	spec, _ := f.nonOwnedSpec(t, 0)
+	if code, _ := f.get(t, 0, "/run?"+specQuery(spec, false).Encode()); code != 200 {
+		t.Fatal("forwarded run failed")
+	}
+	_, body := f.get(t, 0, "/metrics")
+	for _, want := range []string{
+		"svmserve_cluster_forward_total 1",
+		"svmserve_cluster_forward_cache_hits_total 0",
+		"svmserve_cluster_fallback_total 0",
+		fmt.Sprintf("svmserve_cluster_peer_up{peer=%q} 1", f.addrs[1]),
+		"svmserve_draining 0",
+		"svmserve_batch_cells_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -29,6 +29,12 @@ type metrics struct {
 	inflight atomic.Int64  // requests currently holding an execution slot
 	queued   atomic.Int64  // requests waiting for a slot
 
+	forwards    atomic.Uint64 // cells served by forwarding to their owner
+	forwardHits atomic.Uint64 // cells served from the local forward-bytes cache
+	fallbacks   atomic.Uint64 // forwards that failed over to local compute
+	batchCells  atomic.Uint64 // cells served through POST /run batches
+	draining    atomic.Bool   // Drain called; /healthz answers 503
+
 	latBuckets []atomic.Uint64 // len(latencyBuckets)+1: +Inf tail
 	latCount   atomic.Uint64
 	latSumNs   atomic.Uint64
@@ -56,8 +62,9 @@ func (m *metrics) observeLatency(d time.Duration) {
 }
 
 // render writes the metrics in Prometheus text exposition format. extra
-// appends caller-provided gauge/counter lines (cache and store stats).
-func (m *metrics) render(b *strings.Builder, extra map[string]uint64) {
+// appends caller-provided gauge/counter lines (cache and store stats);
+// peerHealth, when non-nil, appends the cluster's per-peer up gauges.
+func (m *metrics) render(b *strings.Builder, extra map[string]uint64, peerHealth map[string]bool) {
 	fmt.Fprintf(b, "# HELP svmserve_requests_total Requests served, by path and status code.\n")
 	fmt.Fprintf(b, "# TYPE svmserve_requests_total counter\n")
 	m.mu.Lock()
@@ -84,6 +91,33 @@ func (m *metrics) render(b *strings.Builder, extra map[string]uint64) {
 	fmt.Fprintf(b, "# HELP svmserve_queue_depth Requests waiting for an execution slot.\n")
 	fmt.Fprintf(b, "# TYPE svmserve_queue_depth gauge\n")
 	fmt.Fprintf(b, "svmserve_queue_depth %d\n", m.queued.Load())
+	fmt.Fprintf(b, "# HELP svmserve_draining Whether SIGTERM drain has begun (healthz answers 503).\n")
+	fmt.Fprintf(b, "# TYPE svmserve_draining gauge\n")
+	fmt.Fprintf(b, "svmserve_draining %d\n", b2i(m.draining.Load()))
+	fmt.Fprintf(b, "# HELP svmserve_cluster_forward_total Cells served by forwarding to their ring owner.\n")
+	fmt.Fprintf(b, "# TYPE svmserve_cluster_forward_total counter\n")
+	fmt.Fprintf(b, "svmserve_cluster_forward_total %d\n", m.forwards.Load())
+	fmt.Fprintf(b, "# HELP svmserve_cluster_forward_cache_hits_total Cells answered from the local cache of forwarded response bytes.\n")
+	fmt.Fprintf(b, "# TYPE svmserve_cluster_forward_cache_hits_total counter\n")
+	fmt.Fprintf(b, "svmserve_cluster_forward_cache_hits_total %d\n", m.forwardHits.Load())
+	fmt.Fprintf(b, "# HELP svmserve_cluster_fallback_total Failed forwards served by local compute-and-cache instead.\n")
+	fmt.Fprintf(b, "# TYPE svmserve_cluster_fallback_total counter\n")
+	fmt.Fprintf(b, "svmserve_cluster_fallback_total %d\n", m.fallbacks.Load())
+	fmt.Fprintf(b, "# HELP svmserve_batch_cells_total Cells served through POST /run batches.\n")
+	fmt.Fprintf(b, "# TYPE svmserve_batch_cells_total counter\n")
+	fmt.Fprintf(b, "svmserve_batch_cells_total %d\n", m.batchCells.Load())
+	if peerHealth != nil {
+		fmt.Fprintf(b, "# HELP svmserve_cluster_peer_up Last probed health of each cluster peer (1 up, 0 down).\n")
+		fmt.Fprintf(b, "# TYPE svmserve_cluster_peer_up gauge\n")
+		peers := make([]string, 0, len(peerHealth))
+		for p := range peerHealth {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			fmt.Fprintf(b, "svmserve_cluster_peer_up{peer=%q} %d\n", p, b2i(peerHealth[p]))
+		}
+	}
 
 	ekeys := make([]string, 0, len(extra))
 	for k := range extra {
@@ -108,3 +142,10 @@ func (m *metrics) render(b *strings.Builder, extra map[string]uint64) {
 }
 
 func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -206,6 +206,74 @@ func TestAdmissionShedsWith429(t *testing.T) {
 	}
 }
 
+// TestForwardedRequestBypassesAdmission pins the fleet's deadlock-freedom
+// invariant: a request marked X-Cluster-Forwarded is served even when this
+// node's slots and queue are saturated. The entry node already holds a
+// slot for it; if owners queued forwards behind their own admission, two
+// nodes whose slots are all held by requests forwarding to each other
+// would wedge until the request deadline.
+func TestForwardedRequestBypassesAdmission(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	m := harness.NewMemo(nil)
+	m.Exec = func(s harness.Spec) (*stats.Run, error) {
+		if s.App == "radix" { // only the saturating cells block
+			started <- struct{}{}
+			<-release
+		}
+		r := stats.NewRun(s.App, s.NumProcs)
+		r.EndTime = 42
+		for i := range r.Procs {
+			r.Procs[i].Cycles[stats.Compute] = 42
+		}
+		return r, nil
+	}
+	ts := httptest.NewServer(New(Config{Memo: m, MaxInflight: 1, MaxQueue: 1}))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	occupy := func(path string) {
+		defer wg.Done()
+		get(t, ts, path)
+	}
+	wg.Add(1)
+	go occupy("/run?app=radix&p=2&scale=0.125") // holds the only slot
+	<-started
+	wg.Add(1)
+	go occupy("/run?app=radix&p=4&scale=0.125") // fills the queue
+	srv := ts.Config.Handler.(*Server)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.mx.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.mx.queued.Load() == 0 {
+		t.Fatal("second request never queued")
+	}
+
+	// A plain request is shed: the node is genuinely saturated.
+	if code, _, _ := get(t, ts, "/run?app=lu&p=2&scale=0.125"); code != http.StatusTooManyRequests {
+		t.Fatalf("plain request under saturation = %d, want 429", code)
+	}
+
+	// The forwarded request is served right through the saturation.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/run?app=lu&p=2&scale=0.125", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ForwardHeader, "test-origin")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarded request under saturation = %d, want 200", resp.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
 // TestRequestTimeout: a request whose simulation outlives the deadline gets
 // 504, and the simulation still completes and lands in the cache.
 func TestRequestTimeout(t *testing.T) {
@@ -275,6 +343,10 @@ func TestMetrics(t *testing.T) {
 		"svmserve_cache_memo_misses_total 1",
 		"svmserve_simulations_total 1",
 		"svmstore_puts_total 1",
+		"svmstore_gc_runs_total 0",
+		"svmstore_gc_evicted_total 0",
+		"svmserve_cluster_forward_total 0",
+		"svmserve_cluster_fallback_total 0",
 		"svmserve_shed_total 0",
 		"svmserve_inflight 0",
 		"svmserve_queue_depth 0",

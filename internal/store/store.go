@@ -62,10 +62,12 @@ type entry struct {
 }
 
 // Stats are the store's cumulative counters since Open. Corrupt counts
-// entries that failed checksum/decode verification and were treated as
-// misses (and removed).
+// entries that failed checksum/decode verification and were healed —
+// treated as misses and removed so the next Put rewrites them. GCRuns
+// and GCEvicted count GC sweeps and the entries they removed.
 type Stats struct {
 	Hits, Misses, Corrupt, Puts uint64
+	GCRuns, GCEvicted           uint64
 }
 
 // Store is a content-addressed result store rooted at one directory. It is
@@ -84,6 +86,7 @@ type Store struct {
 	schema int
 
 	hits, misses, corrupt, puts atomic.Uint64
+	gcRuns, gcEvicted           atomic.Uint64
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -204,10 +207,12 @@ func (s *Store) Put(key string, res Result) error {
 // Stats returns the cumulative counters since Open.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Corrupt: s.corrupt.Load(),
-		Puts:    s.puts.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Puts:      s.puts.Load(),
+		GCRuns:    s.gcRuns.Load(),
+		GCEvicted: s.gcEvicted.Load(),
 	}
 }
 
@@ -224,6 +229,8 @@ type GCPolicy struct {
 // then entries are evicted per the policy, oldest first. It returns the
 // number of entries evicted (not counting temp files).
 func (s *Store) GC(p GCPolicy) (evicted int, err error) {
+	s.gcRuns.Add(1)
+	defer func() { s.gcEvicted.Add(uint64(evicted)) }()
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
