@@ -89,7 +89,44 @@ func TestRingEdgeCases(t *testing.T) {
 	if o := one.Owner("k", nil); o != "solo:1" {
 		t.Errorf("single-member owner = %q", o)
 	}
+	// Single-member ring with its member down: the walk visits every
+	// virtual node, finds none up, and returns "" rather than routing to
+	// an unreachable owner.
 	if o := one.Owner("k", func(string) bool { return false }); o != "" {
-		t.Errorf("all-down owner = %q, want \"\"", o)
+		t.Errorf("single-member all-down owner = %q, want \"\"", o)
+	}
+	// Same with several members: Owner must terminate after one full lap
+	// and report no owner, not spin or fall back to a down member.
+	three := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 8)
+	for _, k := range keys(50) {
+		if o := three.Owner(k, func(string) bool { return false }); o != "" {
+			t.Fatalf("all-down owner(%q) = %q, want \"\"", k, o)
+		}
+	}
+}
+
+// TestRingTieBreak pins the collision tie-break: when two virtual nodes
+// land on the same hash, the lexicographically smaller member name sorts
+// first and owns keys deterministically. SHA-256 collisions can't be
+// provoked from member names, so the ring is built by hand with the same
+// (hash, node) ordering NewRing's sort would produce.
+func TestRingTieBreak(t *testing.T) {
+	const h = uint64(1) << 40
+	r := &Ring{
+		vnodes: 1,
+		nodes:  []string{"a:1", "b:2"},
+		points: []point{{hash: h, node: "a:1"}, {hash: h, node: "b:2"}},
+	}
+	for _, k := range keys(50) {
+		// Every key either hashes at or below h (search lands on the tied
+		// pair) or above it (wraps to index 0) — both reach "a:1" first.
+		if o := r.Owner(k, nil); o != "a:1" {
+			t.Fatalf("tied-hash owner(%q) = %q, want the name-sorted first member \"a:1\"", k, o)
+		}
+		// With the tie-break winner down, its twin at the same hash takes
+		// over — the down-member skip walks to the very next point.
+		if o := r.Owner(k, func(n string) bool { return n != "a:1" }); o != "b:2" {
+			t.Fatalf("tied-hash failover owner(%q) = %q, want \"b:2\"", k, o)
+		}
 	}
 }

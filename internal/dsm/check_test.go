@@ -37,10 +37,10 @@ func TestWriteUpgradeLeavesOwnerModified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, st := pl.caches[1].Probe(a); st != cache.Modified {
+	if _, st := pl.Eng.Caches[1].Probe(a); st != cache.Modified {
 		t.Errorf("writer's cache holds upgraded line in state %s, want M", st)
 	}
-	if lvl, _ := pl.caches[0].Probe(a); lvl != cache.Miss {
+	if lvl, _ := pl.Eng.Caches[0].Probe(a); lvl != cache.Miss {
 		t.Error("old sharer still holds the line after the upgrade invalidation")
 	}
 }

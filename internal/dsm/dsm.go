@@ -5,13 +5,17 @@
 // Memory is physically distributed; placement comes from the address space's
 // page homes ("data distribution is performed in all cases where it is
 // reasonably allowed", paper §5.2).
+//
+// The machine model itself lives in internal/protocol: this package is the
+// configuration shim that composes {MESI × Directory} with the paper's node
+// cache geometry and cycle costs, so existing harness specs, figure cells and
+// memo keys keep resolving through the same API.
 package dsm
 
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/internal/protocol"
 )
 
 // CacheConfig is the paper's DSM node cache hierarchy.
@@ -22,264 +26,16 @@ var CacheConfig = cache.Config{
 }
 
 // Params are cycle costs at 300 MHz (3.3 ns).
-type Params struct {
-	L2HitCost   uint64 // L1 miss, L2 hit
-	LocalMem    uint64 // L2 miss satisfied by local (home) memory
-	RemoteClean uint64 // 2-hop miss: remote home, memory-clean line
-	RemoteDirty uint64 // 3-hop miss: line dirty in a third node's cache
-	UpgradeBase uint64 // write to a Shared line, local directory
-	UpgradeHop  uint64 // extra when the directory is remote
-	InvalPer    uint64 // per remote sharer invalidated
-	DirOccupy   uint64 // home directory controller occupancy per transaction
-
-	LockAcquire uint64 // uncontended hardware lock acquisition (remote line)
-	LockRelease uint64
-	BarrierHW   uint64 // hardware barrier fan-in/fan-out beyond max arrival
-	BarrierLeaf uint64 // per-processor arrival cost
-}
+type Params = protocol.DirParams
 
 // DefaultParams returns the paper-calibrated DSM cost model.
-func DefaultParams() Params {
-	return Params{
-		L2HitCost:   8,
-		LocalMem:    60,
-		RemoteClean: 150,
-		RemoteDirty: 250,
-		UpgradeBase: 80,
-		UpgradeHop:  60,
-		InvalPer:    20,
-		DirOccupy:   30,
+func DefaultParams() Params { return protocol.DefaultDirParams() }
 
-		LockAcquire: 200,
-		LockRelease: 60,
-		BarrierHW:   600,
-		BarrierLeaf: 150,
-	}
-}
-
-type dirEntry struct {
-	sharers uint64 // bitmask of caching nodes
-	owner   int8   // exclusive owner, -1 if none
-}
-
-// Platform is the directory-based CC-NUMA machine model.
-type Platform struct {
-	P      Params
-	as     *mem.AddressSpace
-	k      *sim.Kernel
-	np     int
-	caches []*cache.Hierarchy
-	dir    map[uint64]*dirEntry
-	dirOcc []sim.Resource // per home node
-	line   uint64
-}
+// Platform is the directory-based CC-NUMA machine: protocol.HW composed as
+// {MESI × Directory} over the address space's page homes.
+type Platform = protocol.HW
 
 // New creates a DSM platform over the given address space for np nodes.
 func New(as *mem.AddressSpace, p Params, np int) *Platform {
-	return &Platform{P: p, as: as, np: np, line: uint64(CacheConfig.Line)}
+	return protocol.NewDirMachine("dsm", protocol.MESI, CacheConfig, as, p, np)
 }
-
-// Name implements sim.Platform.
-func (d *Platform) Name() string { return "dsm" }
-
-// LineSize reports the coherence line size for range accesses.
-func (d *Platform) LineSize() int { return CacheConfig.Line }
-
-// Attach implements sim.Platform.
-func (d *Platform) Attach(k *sim.Kernel) {
-	d.k = k
-	d.caches = make([]*cache.Hierarchy, d.np)
-	d.dir = make(map[uint64]*dirEntry, 1<<16)
-	d.dirOcc = make([]sim.Resource, d.np)
-	for i := 0; i < d.np; i++ {
-		h := cache.New(CacheConfig)
-		nd := i
-		h.OnL2Evict = func(la uint64, st cache.State) {
-			if e, ok := d.dir[la]; ok {
-				e.sharers &^= 1 << uint(nd)
-				if e.owner == int8(nd) {
-					e.owner = -1 // writeback to home memory
-				}
-			}
-		}
-		d.caches[i] = h
-	}
-}
-
-func (d *Platform) entry(la uint64) *dirEntry {
-	e, ok := d.dir[la]
-	if !ok {
-		e = &dirEntry{owner: -1}
-		d.dir[la] = e
-	}
-	return e
-}
-
-// FastAccess implements sim.Platform: cache hits with sufficient MESI rights
-// are purely local. HitAccess fuses the probe and the access into one
-// tag-array walk, refusing (mutating nothing) on a miss or a write without
-// Modified/Exclusive rights; a write to an Exclusive line silently upgrades
-// to Modified in the cache — the directory already records p as exclusive
-// owner.
-func (d *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
-	lvl, _, ok := d.caches[p].HitAccess(addr, write)
-	if !ok {
-		return 0, false // miss, or upgrade needed
-	}
-	if lvl == cache.L1Hit {
-		return 0, true
-	}
-	return d.P.L2HitCost, true
-}
-
-// SlowAccess implements sim.Platform: directory transaction for misses and
-// upgrades.
-func (d *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
-	h := d.caches[p]
-	la := h.LineOf(addr)
-	home := d.as.Home(addr)
-	e := d.entry(la)
-	c := d.k.Counters(p)
-	var cost sim.AccessCost
-
-	// Home directory occupancy models contention at home nodes.
-	start := d.dirOcc[home].Acquire(now, d.P.DirOccupy)
-	contention := start - now
-	d.k.Emit(trace.DirOccupy, home, start, la, d.P.DirOccupy)
-	var kind trace.Kind // 2-/3-hop classification for the trace stream
-
-	switch {
-	case write:
-		var base uint64
-		remoteOwner := e.owner >= 0 && int(e.owner) != p
-		remoteSharers := e.sharers&^(1<<uint(p)) != 0
-		switch {
-		case remoteOwner:
-			// 3-hop: fetch dirty line from owner, invalidate it.
-			base = d.P.RemoteDirty
-			if home == p {
-				base = d.P.RemoteDirty - 50
-			}
-			d.caches[e.owner].SetState(addr, cache.Invalid)
-			c.ThreeHopMisses++
-			c.RemoteMisses++
-			kind = trace.Miss3Hop
-		case e.sharers&^(1<<uint(p)) != 0 || e.sharers&(1<<uint(p)) != 0 && d.hasLine(p, addr):
-			// Upgrade (or fetch+invalidate) with sharers.
-			base = d.P.UpgradeBase
-			if home != p {
-				base += d.P.UpgradeHop
-				c.RemoteMisses++
-				kind = trace.Miss2Hop
-			} else {
-				c.LocalMisses++
-			}
-			n := 0
-			for q := 0; q < d.np; q++ {
-				if q != p && e.sharers&(1<<uint(q)) != 0 {
-					d.caches[q].SetState(addr, cache.Invalid)
-					n++
-				}
-			}
-			base += uint64(n) * d.P.InvalPer
-		default:
-			// Plain write miss from memory.
-			if home == p {
-				base = d.P.LocalMem
-				c.LocalMisses++
-			} else {
-				base = d.P.RemoteClean
-				c.RemoteMisses++
-				kind = trace.Miss2Hop
-			}
-		}
-		e.sharers = 1 << uint(p)
-		e.owner = int8(p)
-		h.Access(addr, true, cache.Modified)
-		// Access applies fillState only on a miss; on a write UPGRADE the
-		// line hits in state Shared and would stay Shared, so the owner
-		// would keep paying upgrade transactions for a line it owns.
-		h.SetState(addr, cache.Modified)
-		if home == p && !remoteOwner && !remoteSharers {
-			cost.CacheStall += base + contention
-		} else {
-			cost.DataWait += base + contention
-		}
-
-	default: // read miss
-		var base uint64
-		if e.owner >= 0 && int(e.owner) != p {
-			// 3-hop: owner supplies the line and downgrades.
-			base = d.P.RemoteDirty
-			d.caches[e.owner].SetState(addr, cache.Shared)
-			e.sharers |= 1 << uint(e.owner)
-			e.owner = -1
-			c.ThreeHopMisses++
-			c.RemoteMisses++
-			kind = trace.Miss3Hop
-			cost.DataWait += base + contention
-		} else if home == p {
-			base = d.P.LocalMem
-			c.LocalMisses++
-			cost.CacheStall += base + contention
-		} else {
-			base = d.P.RemoteClean
-			c.RemoteMisses++
-			kind = trace.Miss2Hop
-			cost.DataWait += base + contention
-		}
-		e.sharers |= 1 << uint(p)
-		fill := cache.Shared
-		if e.sharers == 1<<uint(p) && e.owner < 0 {
-			fill = cache.Exclusive
-			e.owner = int8(p)
-		}
-		h.Access(addr, false, fill)
-	}
-	if kind != trace.KindNone {
-		d.k.Emit(kind, p, now, la, cost.DataWait)
-	}
-	return cost
-}
-
-// hasLine reports whether p's cache currently holds the line of addr.
-func (d *Platform) hasLine(p int, addr uint64) bool {
-	lvl, _ := d.caches[p].Probe(addr)
-	return lvl != cache.Miss
-}
-
-// LockRequest implements sim.Platform.
-func (d *Platform) LockRequest(p int, now uint64, lock int) uint64 { return 0 }
-
-// LockGrant implements sim.Platform: an uncontended hardware lock costs about
-// a remote miss; no protocol consistency work happens at acquire (coherence
-// is at access time, paper §5.2).
-func (d *Platform) LockGrant(p int, now uint64, lock int, prev int) uint64 {
-	return d.P.LockAcquire
-}
-
-// LockRelease implements sim.Platform.
-func (d *Platform) LockRelease(p int, now uint64, lock int) (uint64, uint64, uint64) {
-	return d.P.LockRelease, 0, 0
-}
-
-// BarrierArrive implements sim.Platform.
-func (d *Platform) BarrierArrive(p int, now uint64) (uint64, uint64) {
-	return d.P.BarrierLeaf, 0
-}
-
-// BarrierRelease implements sim.Platform.
-func (d *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
-	var m uint64
-	for _, a := range arrivals {
-		if a > m {
-			m = a
-		}
-	}
-	return m + d.P.BarrierHW
-}
-
-// BarrierDepart implements sim.Platform.
-func (d *Platform) BarrierDepart(p int, releaseTime uint64) uint64 { return d.P.BarrierLeaf / 3 }
-
-var _ sim.Platform = (*Platform)(nil)

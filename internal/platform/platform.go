@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dsm"
 	"repro/internal/mem"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/svm"
@@ -16,8 +17,10 @@ import (
 )
 
 // Names lists the paper's three platforms in paper order; the figures
-// iterate over these. The §7 future-work preset "svmsmp" (SMP nodes
-// connected by SVM) is additionally available through Make.
+// iterate over these. Additional presets available through Make: the §7
+// future-work hierarchy "svmsmp" (SMP nodes connected by SVM) and the
+// protocol-engine compositions "smp-msi" and "dsm-msi" (the hardware
+// machines with the coherence state machine swapped to MSI).
 var Names = []string{"svm", "smp", "dsm"}
 
 // PageSize is the allocation/placement granularity shared by all presets:
@@ -38,6 +41,14 @@ func Make(name string, as *mem.AddressSpace, np int) (sim.Platform, error) {
 		// The paper's §7 future-work hierarchy: SMP nodes of four
 		// processors connected by SVM.
 		return svmsmp.New(as, svmsmp.DefaultParams(), np), nil
+	case "smp-msi":
+		// The Challenge machine with the MESI axis swapped for plain MSI:
+		// a new protocol-engine composition, not a new platform package.
+		return protocol.NewBusMachine("smp-msi", protocol.MSI, smp.CacheConfig, smp.DefaultParams(), np), nil
+	case "dsm-msi":
+		// The CC-NUMA machine over MSI — every read fills Shared, so
+		// read-then-write pays an upgrade even with no other sharer.
+		return protocol.NewDirMachine("dsm-msi", protocol.MSI, dsm.CacheConfig, as, dsm.DefaultParams(), np), nil
 	default:
 		return nil, fmt.Errorf("platform: unknown preset %q (want one of %v)", name, Names)
 	}
@@ -45,4 +56,10 @@ func Make(name string, as *mem.AddressSpace, np int) (sim.Platform, error) {
 
 // IsHardwareCoherent reports whether the preset models hardware cache
 // coherence (fine-grained), as opposed to page-grained software coherence.
-func IsHardwareCoherent(name string) bool { return name == "smp" || name == "dsm" }
+func IsHardwareCoherent(name string) bool {
+	switch name {
+	case "smp", "dsm", "smp-msi", "dsm-msi":
+		return true
+	}
+	return false
+}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestMakeAllPresets(t *testing.T) {
-	for _, name := range append(append([]string{}, Names...), "svmsmp") {
+	for _, name := range append(append([]string{}, Names...), "svmsmp", "smp-msi", "dsm-msi") {
 		as := mem.NewAddressSpace(PageSize, 8)
 		pl, err := Make(name, as, 8)
 		if err != nil {
@@ -30,7 +30,8 @@ func TestIsHardwareCoherent(t *testing.T) {
 	if IsHardwareCoherent("svm") || IsHardwareCoherent("svmsmp") {
 		t.Error("page-grained platforms misclassified as hardware-coherent")
 	}
-	if !IsHardwareCoherent("smp") || !IsHardwareCoherent("dsm") {
+	if !IsHardwareCoherent("smp") || !IsHardwareCoherent("dsm") ||
+		!IsHardwareCoherent("smp-msi") || !IsHardwareCoherent("dsm-msi") {
 		t.Error("hardware platforms misclassified")
 	}
 }

@@ -3,12 +3,9 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
-	"time"
 
 	"repro/internal/harness"
 )
@@ -92,15 +89,7 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// One admission slot for the whole batch; shedding and slot-timeout
 	// behavior match single requests.
-	if err := s.acquire(ctx); err != nil {
-		if errors.Is(err, errShed) {
-			s.mx.shed.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			http.Error(w, "serve: overloaded, admission queue full", http.StatusTooManyRequests)
-			return
-		}
-		s.mx.timeouts.Add(1)
-		http.Error(w, "serve: timed out waiting for an execution slot", http.StatusGatewayTimeout)
+	if !s.admit(ctx, w) {
 		return
 	}
 	defer func() { <-s.slots }()

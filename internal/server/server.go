@@ -196,6 +196,27 @@ func (s *Server) acquire(ctx context.Context) error {
 	}
 }
 
+// admit claims an execution slot for a handler, writing the error response
+// itself when none can be had: 429 with the Retry-After ceiling
+// (cfg.RetryAfter rounded up to whole seconds) on shed, 504 on a deadline
+// that fired while queued. The single-cell and batch admission paths both go
+// through here, so their shed responses cannot drift apart.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	err := s.acquire(ctx)
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, errShed) {
+		s.mx.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "serve: overloaded, admission queue full", http.StatusTooManyRequests)
+		return false
+	}
+	s.mx.timeouts.Add(1)
+	http.Error(w, "serve: timed out waiting for an execution slot", http.StatusGatewayTimeout)
+	return false
+}
+
 // run admits the request, then executes fn in a goroutine that keeps the
 // slot until the work finishes even if the deadline fires first — the
 // simulation completes, lands in the cache, and inflight stays truthful.
@@ -213,18 +234,8 @@ func (s *Server) acquire(ctx context.Context) error {
 func (s *Server) run(w http.ResponseWriter, r *http.Request, admit bool, fn func(ctx context.Context) (body []byte, contentType string, code int)) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	if admit {
-		if err := s.acquire(ctx); err != nil {
-			if errors.Is(err, errShed) {
-				s.mx.shed.Add(1)
-				w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-				http.Error(w, "serve: overloaded, admission queue full", http.StatusTooManyRequests)
-				return
-			}
-			s.mx.timeouts.Add(1)
-			http.Error(w, "serve: timed out waiting for an execution slot", http.StatusGatewayTimeout)
-			return
-		}
+	if admit && !s.admit(ctx, w) {
+		return
 	}
 	type out struct {
 		body        []byte

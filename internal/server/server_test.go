@@ -206,6 +206,62 @@ func TestAdmissionShedsWith429(t *testing.T) {
 	}
 }
 
+// TestBatchShedMatchesSingleCellShed pins the shed response of the batch
+// admission path to the single-cell path, byte for byte: status code,
+// Retry-After ceiling and body. The two handlers used to carry cloned copies
+// of the response; they now share Server.admit, and this test keeps them
+// from drifting apart again.
+func TestBatchShedMatchesSingleCellShed(t *testing.T) {
+	var execs atomic.Uint64
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	ts := httptest.NewServer(New(Config{Memo: blockingMemo(&execs, started, release), MaxInflight: 1, MaxQueue: 1, RetryAfter: 3 * time.Second}))
+	defer ts.Close()
+	srv := ts.Config.Handler.(*Server)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) { // one occupies the slot, one the queue
+			defer wg.Done()
+			get(t, ts, fmt.Sprintf("/run?app=radix&p=%d&scale=0.125", 2+i))
+		}(i)
+	}
+	<-started
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.mx.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.mx.queued.Load() == 0 {
+		t.Fatal("second request never queued")
+	}
+
+	singleCode, singleHdr, singleBody := get(t, ts, "/run?app=radix&p=8&scale=0.125")
+	resp, err := ts.Client().Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`[{"app":"radix","procs":8,"scale":0.125}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if singleCode != http.StatusTooManyRequests || resp.StatusCode != singleCode {
+		t.Fatalf("shed codes: single %d, batch %d, want both 429", singleCode, resp.StatusCode)
+	}
+	if s, b := singleHdr.Get("Retry-After"), resp.Header.Get("Retry-After"); s != "3" || b != s {
+		t.Errorf("Retry-After: single %q, batch %q, want both \"3\"", s, b)
+	}
+	if !bytes.Equal(singleBody, batchBody) {
+		t.Errorf("shed bodies differ: single %q, batch %q", singleBody, batchBody)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
 // TestForwardedRequestBypassesAdmission pins the fleet's deadlock-freedom
 // invariant: a request marked X-Cluster-Forwarded is served even when this
 // node's slots and queue are saturated. The entry node already holds a

@@ -4,13 +4,17 @@
 // bus, kept coherent by MESI snooping. The single bus is the contended
 // resource; its occupancy per transaction is what makes bandwidth-heavy codes
 // (Radix) suffer here, as the paper observes.
+//
+// The machine model itself lives in internal/protocol: this package is the
+// configuration shim that composes {MESI × SnoopBus} with the Challenge's
+// cache geometry and cycle costs, so existing harness specs, figure cells and
+// memo keys keep resolving through the same API.
 package smp
 
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/internal/protocol"
 )
 
 // CacheConfig is the Challenge's per-processor hierarchy.
@@ -21,230 +25,18 @@ var CacheConfig = cache.Config{
 }
 
 // Params are cycle costs at 150 MHz (6.7 ns).
-type Params struct {
-	L2HitCost uint64
-	BusArb    uint64 // bus arbitration
-	BusXfer   uint64 // bus occupancy per 128 B line (1.2 GB/s)
-	MemLat    uint64 // main memory access latency
-	C2CLat    uint64 // cache-to-cache supply latency
-	InvalPer  uint64 // per-sharer invalidation on upgrades
-
-	LockAcquire uint64
-	LockRelease uint64
-	BarrierHW   uint64
-	BarrierLeaf uint64
-}
+type Params = protocol.BusParams
 
 // DefaultParams returns the Challenge-calibrated cost model.
-func DefaultParams() Params {
-	return Params{
-		L2HitCost: 8,
-		BusArb:    8,
-		BusXfer:   16, // 128 B at 1.2 GB/s is ~107 ns
-		MemLat:    55,
-		C2CLat:    35,
-		InvalPer:  8,
+func DefaultParams() Params { return protocol.DefaultBusParams() }
 
-		LockAcquire: 90,
-		LockRelease: 40,
-		BarrierHW:   400,
-		BarrierLeaf: 90,
-	}
-}
-
-type lineEntry struct {
-	sharers uint64
-	owner   int8
-}
-
-// Platform is the snooping-bus machine model.
-type Platform struct {
-	P      Params
-	as     *mem.AddressSpace
-	k      *sim.Kernel
-	np     int
-	caches []*cache.Hierarchy
-	lines  map[uint64]*lineEntry
-	bus    sim.Resource
-}
+// Platform is the snooping-bus machine: protocol.HW composed as
+// {MESI × SnoopBus} with machine-wide bus accounting (per-sharer upgrade
+// invalidations, per-transaction miss classification).
+type Platform = protocol.HW
 
 // New creates an SMP platform for np processors. The address space is used
 // only for line naming; memory is centralized so homes are ignored.
 func New(as *mem.AddressSpace, p Params, np int) *Platform {
-	return &Platform{P: p, as: as, np: np}
+	return protocol.NewBusMachine("smp", protocol.MESI, CacheConfig, p, np)
 }
-
-// Name implements sim.Platform.
-func (s *Platform) Name() string { return "smp" }
-
-// LineSize reports the coherence line size for range accesses.
-func (s *Platform) LineSize() int { return CacheConfig.Line }
-
-// Attach implements sim.Platform.
-func (s *Platform) Attach(k *sim.Kernel) {
-	s.k = k
-	s.caches = make([]*cache.Hierarchy, s.np)
-	s.lines = make(map[uint64]*lineEntry, 1<<16)
-	s.bus.Reset()
-	for i := 0; i < s.np; i++ {
-		h := cache.New(CacheConfig)
-		nd := i
-		h.OnL2Evict = func(la uint64, st cache.State) {
-			if e, ok := s.lines[la]; ok {
-				e.sharers &^= 1 << uint(nd)
-				if e.owner == int8(nd) {
-					e.owner = -1
-				}
-			}
-		}
-		s.caches[i] = h
-	}
-}
-
-func (s *Platform) entry(la uint64) *lineEntry {
-	e, ok := s.lines[la]
-	if !ok {
-		e = &lineEntry{owner: -1}
-		s.lines[la] = e
-	}
-	return e
-}
-
-// FastAccess implements sim.Platform. HitAccess fuses the probe and the
-// access into one tag-array walk; it refuses (mutating nothing) on a miss or
-// a write without Modified/Exclusive rights, exactly as the unfused
-// Probe-then-Access pair did.
-func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
-	lvl, _, ok := s.caches[p].HitAccess(addr, write)
-	if !ok {
-		return 0, false
-	}
-	if lvl == cache.L1Hit {
-		return 0, true
-	}
-	return s.P.L2HitCost, true
-}
-
-// SlowAccess implements sim.Platform: a bus transaction. Fills from memory
-// are charged to CacheStall (centralized memory, "local cache miss");
-// cache-to-cache transfers and upgrades are communication, charged to
-// DataWait. Bus queueing delay is charged with the transaction.
-func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
-	h := s.caches[p]
-	la := h.LineOf(addr)
-	e := s.entry(la)
-	c := s.k.Counters(p)
-	c.BusTransactions++
-	var cost sim.AccessCost
-
-	occ := s.P.BusArb + s.P.BusXfer
-	start := s.bus.Acquire(now, occ)
-	wait := start - now + occ
-	s.k.Emit(trace.BusOccupy, 0, start, la, occ)
-
-	if write {
-		remoteOwner := e.owner >= 0 && int(e.owner) != p
-		remoteSharers := e.sharers&^(1<<uint(p)) != 0
-		var lat uint64
-		comm := false
-		switch {
-		case remoteOwner:
-			lat = s.P.C2CLat
-			s.caches[e.owner].SetState(addr, cache.Invalid)
-			comm = true
-		case remoteSharers:
-			lat = s.P.InvalPer
-			n := 0
-			for q := 0; q < s.np; q++ {
-				if q != p && e.sharers&(1<<uint(q)) != 0 {
-					s.caches[q].SetState(addr, cache.Invalid)
-					n++
-				}
-			}
-			lat = uint64(n) * s.P.InvalPer
-			if !s.hasLine(p, addr) {
-				lat += s.P.MemLat
-			}
-			comm = true
-		default:
-			lat = s.P.MemLat
-		}
-		e.sharers = 1 << uint(p)
-		e.owner = int8(p)
-		h.Access(addr, true, cache.Modified)
-		// Access applies fillState only on a miss; on a write UPGRADE the
-		// line hits in state Shared and would stay Shared, so the owner
-		// would keep paying upgrade transactions for a line it owns.
-		h.SetState(addr, cache.Modified)
-		if comm {
-			cost.DataWait += wait + lat
-			c.RemoteMisses++
-		} else {
-			cost.CacheStall += wait + lat
-			c.LocalMisses++
-		}
-	} else {
-		if e.owner >= 0 && int(e.owner) != p {
-			// Owner supplies the line (cache-to-cache) and downgrades.
-			s.caches[e.owner].SetState(addr, cache.Shared)
-			e.sharers |= 1 << uint(e.owner)
-			e.owner = -1
-			cost.DataWait += wait + s.P.C2CLat
-			c.RemoteMisses++
-		} else {
-			cost.CacheStall += wait + s.P.MemLat
-			c.LocalMisses++
-		}
-		e.sharers |= 1 << uint(p)
-		fill := cache.Shared
-		if e.sharers == 1<<uint(p) && e.owner < 0 {
-			fill = cache.Exclusive
-			e.owner = int8(p)
-		}
-		h.Access(addr, false, fill)
-	}
-	s.k.Emit(trace.BusTxn, p, now, la, cost.Total())
-	return cost
-}
-
-func (s *Platform) hasLine(p int, addr uint64) bool {
-	lvl, _ := s.caches[p].Probe(addr)
-	return lvl != cache.Miss
-}
-
-// LockRequest implements sim.Platform.
-func (s *Platform) LockRequest(p int, now uint64, lock int) uint64 { return 0 }
-
-// LockGrant implements sim.Platform: an LL/SC or test&set acquisition — one
-// bus transaction, "locks are cheap and are simply locks" (paper §4.2.3).
-func (s *Platform) LockGrant(p int, now uint64, lock int, prev int) uint64 {
-	start := s.bus.Acquire(now, s.P.BusArb)
-	s.k.Emit(trace.BusOccupy, 0, start, uint64(lock), s.P.BusArb)
-	return (start - now) + s.P.LockAcquire
-}
-
-// LockRelease implements sim.Platform.
-func (s *Platform) LockRelease(p int, now uint64, lock int) (uint64, uint64, uint64) {
-	return s.P.LockRelease, 0, 0
-}
-
-// BarrierArrive implements sim.Platform.
-func (s *Platform) BarrierArrive(p int, now uint64) (uint64, uint64) {
-	return s.P.BarrierLeaf, 0
-}
-
-// BarrierRelease implements sim.Platform.
-func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
-	var m uint64
-	for _, a := range arrivals {
-		if a > m {
-			m = a
-		}
-	}
-	return m + s.P.BarrierHW
-}
-
-// BarrierDepart implements sim.Platform.
-func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 { return s.P.BarrierLeaf / 3 }
-
-var _ sim.Platform = (*Platform)(nil)

@@ -1,108 +1,18 @@
 package svm
 
 import (
-	"fmt"
-	"sort"
-
+	"repro/internal/protocol"
 	"repro/internal/sim"
 )
 
 // IntervalOverflowError reports that a node's uint32 interval counter was
-// about to wrap. Intervals advance at every lock release and barrier arrival
-// whether or not anything was written, so a long enough run genuinely reaches
-// the limit; wrapping would make interval 0 compare older than the 2^32-1
-// intervals it follows and corrupt every vector-clock comparison, so the
-// protocol panics instead and the kernel contains it as a ProcPanicError.
-// The svmsmp platform reuses this error with Node naming the cluster.
-type IntervalOverflowError struct {
-	Node int
-}
+// about to wrap; see protocol.IntervalOverflowError. The svmsmp platform
+// reuses this error with Node naming the cluster.
+type IntervalOverflowError = protocol.IntervalOverflowError
 
-func (e *IntervalOverflowError) Error() string {
-	return fmt.Sprintf("svm: interval counter of node %d would overflow uint32 (run too long for 32-bit vector clocks)", e.Node)
-}
-
-// CheckInvariants implements sim.InvariantChecked for the HLRC protocol.
-// The audited invariants:
-//
-//   - a node's own vector-clock entry tracks its interval counter, and its
-//     write log holds exactly one notice list per closed interval;
-//   - no vector clock (per node or per lock) claims knowledge of an interval
-//     its producer has not reached (vector-clock monotonicity);
-//   - the dirty list is duplicate-free and agrees with the dirty bits, and
-//     dirty pages are valid (a twin without a readable copy is meaningless);
-//   - twin/diff balance: every twin ever made has either been diffed (at a
-//     flush or at an acquire-time invalidation) or is still pending in the
-//     open interval (non-home dirty pages) — twins are never dropped
-//     without their writes reaching the home;
-//   - the diffed-but-unnotified list is duplicate-free and disjoint from
-//     the dirty list's un-redirtied entries;
-//   - NIC occupancy never exceeds its busy-until clock.
-func (s *Platform) CheckInvariants() error {
-	for p, n := range s.nodes {
-		if n.vc[p] != n.interval {
-			return fmt.Errorf("svm: node %d's own vector-clock entry is %d but its interval is %d", p, n.vc[p], n.interval)
-		}
-		if got, want := len(s.writeLog[p]), int(n.interval)+1; got != want {
-			return fmt.Errorf("svm: node %d's write log has %d interval entries, want %d", p, got, want)
-		}
-		for q, nq := range s.nodes {
-			if n.vc[q] > nq.interval {
-				return fmt.Errorf("svm: node %d knows interval %d of node %d, which has only reached %d", p, n.vc[q], q, nq.interval)
-			}
-		}
-		seen := make(map[pageID]bool, len(n.dirtyLst))
-		var pendingTwins uint64
-		for _, pg := range n.dirtyLst {
-			if seen[pg] {
-				return fmt.Errorf("svm: node %d's dirty list holds page %d twice", p, pg)
-			}
-			seen[pg] = true
-			if !n.dirty[pg] {
-				return fmt.Errorf("svm: node %d's dirty list holds page %d but its dirty bit is clear", p, pg)
-			}
-			if !n.valid[pg] {
-				return fmt.Errorf("svm: node %d has page %d dirty but not valid", p, pg)
-			}
-			if s.as.Home(pg*s.P.PageSize) != p {
-				pendingTwins++
-			}
-		}
-		for pg, d := range n.dirty {
-			if d && !seen[pageID(pg)] {
-				return fmt.Errorf("svm: node %d has page %d marked dirty but missing from the dirty list", p, pg)
-			}
-		}
-		seenPend := make(map[pageID]bool, len(n.pending))
-		for _, pg := range n.pending {
-			if seenPend[pg] {
-				return fmt.Errorf("svm: node %d's pending-notice list holds page %d twice", p, pg)
-			}
-			seenPend[pg] = true
-		}
-		c := s.k.Counters(p)
-		if c.TwinsMade != c.DiffsCreated+pendingTwins {
-			return fmt.Errorf("svm: node %d twin/diff balance broken: %d twins made != %d diffs + %d pending",
-				p, c.TwinsMade, c.DiffsCreated, pendingTwins)
-		}
-		if err := n.nic.CheckOccupancy(fmt.Sprintf("svm: node %d NIC", p)); err != nil {
-			return err
-		}
-	}
-	// Sorted lock order so a violating run reports deterministically.
-	ids := make([]int, 0, len(s.lockVC))
-	for id := range s.lockVC {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		for q, iv := range s.lockVC[id] {
-			if iv > s.nodes[q].interval {
-				return fmt.Errorf("svm: lock %d's vector clock knows interval %d of node %d, which has only reached %d", id, iv, q, s.nodes[q].interval)
-			}
-		}
-	}
-	return nil
-}
+// CheckInvariants implements sim.InvariantChecked: the HLRC protocol
+// invariants, audited once by the page engine for every composition (see
+// protocol.PageEngine.CheckInvariants for the list).
+func (s *Platform) CheckInvariants() error { return s.eng.CheckInvariants() }
 
 var _ sim.InvariantChecked = (*Platform)(nil)

@@ -70,8 +70,8 @@ func TestIntervalOverflowFailsLoudly(t *testing.T) {
 		if p.ID() == 0 {
 			// Attach has reset the nodes by the time bodies run; force the
 			// counter to the edge, then flush via a release.
-			pl.nodes[0].interval = math.MaxUint32
-			pl.nodes[0].vc[0] = math.MaxUint32
+			pl.eng.Doms[0].Interval = math.MaxUint32
+			pl.eng.Doms[0].VC[0] = math.MaxUint32
 			p.Lock(1)
 			p.Unlock(1)
 		}

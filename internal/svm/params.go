@@ -10,70 +10,19 @@
 // releases, and propagate diffs to the home (only); acquirers receive write
 // notices and lazily invalidate their stale copies; a fault after a causally
 // related acquire fetches the whole page from the home.
+//
+// The protocol engine itself lives in internal/protocol (PageEngine); this
+// package composes it with one coherence domain per node and the paper's
+// node cache hierarchy.
 package svm
+
+import "repro/internal/protocol"
 
 // Params are the cycle costs of the model, in 200 MHz processor cycles
 // (5 ns). They are chosen to match mid-90s all-software SVM over Myrinet:
 // ~65 µs unloaded page fetches, ~25 µs unloaded lock acquires, barriers
 // costing tens of microseconds plus flush work.
-type Params struct {
-	PageSize uint64
-
-	// Local hierarchy.
-	L2HitCost uint64 // L1 miss satisfied in L2
-	MemCost   uint64 // L2 miss satisfied in local memory
-
-	// Software protocol overheads.
-	FaultOverhead uint64 // kernel trap + SIGSEGV handler entry on a page fault
-	WriteTrap     uint64 // write-protection trap detecting first write to a page
-	TwinCost      uint64 // copying a 4 KB twin
-	DiffCreate    uint64 // comparing a dirty page against its twin
-	DiffApply     uint64 // applying a diff at the home
-	NoticeCost    uint64 // logging/sending one write notice
-	InvalCost     uint64 // invalidating one page at an acquire (incl. mprotect)
-
-	// Messaging.
-	MsgSend    uint64 // software send overhead (host side)
-	MsgRecv    uint64 // software receive/dispatch overhead
-	NetLatency uint64 // wire+switch latency
-	PageXfer   uint64 // I/O-bus occupancy to move one 4 KB page
-	DiffXfer   uint64 // I/O-bus occupancy to move one diff
-
-	// Home-side service.
-	HomeService uint64 // page lookup + reply preparation at the home
-
-	// Synchronization.
-	LockMgrService uint64 // lock manager processing per request
-	BarrierPerProc uint64 // manager processing per arrival (notice merge)
-	BarrierBcast   uint64 // release broadcast cost
-}
+type Params = protocol.HLRCParams
 
 // DefaultParams returns the paper-calibrated cost model.
-func DefaultParams() Params {
-	return Params{
-		PageSize: 4096,
-
-		L2HitCost: 10,
-		MemCost:   60,
-
-		FaultOverhead: 2000, // ~10 µs trap + handler entry
-		WriteTrap:     2000,
-		TwinCost:      1000, // 4 KB copy over the 400 MB/s memory bus
-		DiffCreate:    1200,
-		DiffApply:     800,
-		NoticeCost:    50,
-		InvalCost:     150,
-
-		MsgSend:    1000, // ~5 µs software messaging each side
-		MsgRecv:    1000,
-		NetLatency: 200,  // ~1 µs wire
-		PageXfer:   8192, // 4 KB over the 100 MB/s I/O bus
-		DiffXfer:   1024,
-
-		HomeService: 500,
-
-		LockMgrService: 500,
-		BarrierPerProc: 400,
-		BarrierBcast:   1200,
-	}
-}
+func DefaultParams() Params { return protocol.DefaultHLRCParams() }

@@ -1,11 +1,9 @@
 package svm
 
 import (
-	"fmt"
-	"math"
-
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -17,24 +15,11 @@ var CacheConfig = cache.Config{
 	Line: 32,
 }
 
-type pageID = uint64
-
-// node holds one processor's protocol state.
-type node struct {
-	vc       []uint32 // vector clock: latest interval of each node known here
-	interval uint32   // own current interval
-	valid    []bool   // per page: is a copy readable here
-	dirty    []bool   // per page: twin exists (written in current interval)
-	dirtyLst []pageID
-	// pending lists pages whose diff was already flushed home by an
-	// acquire-time invalidation in the still-open interval; the next flush
-	// publishes their write notices without diffing them again.
-	pending []pageID
-	cache   *cache.Hierarchy
-	nic     sim.Resource // NIC + protocol handler occupancy for incoming requests
-}
-
-// Platform is the HLRC shared-virtual-memory machine model.
+// Platform is the HLRC shared-virtual-memory machine: a protocol.PageEngine
+// with one coherence domain per node, composed with each node's private
+// (coherence-irrelevant) cache hierarchy. The HLRC state machine itself lives
+// in internal/protocol; this package wires it to flat node-grained homes and
+// keeps the existing API for harness specs, figure cells and memo keys.
 type Platform struct {
 	P  Params
 	as *mem.AddressSpace
@@ -46,19 +31,9 @@ type Platform struct {
 	// to its stall cycles, replacing a switch on the same fast path.
 	pageShift uint
 	levelCost [3]uint64
-	nodes     []*node
-	// npagesAlloc is the page-table size the nodes were built with; Attach
-	// reuses them in place while the address space still fits.
-	npagesAlloc int
 
-	// writeLog[q][i] lists pages node q flushed in interval i; acquirers
-	// walk the intervals their vector clock advances over and invalidate
-	// those pages (the write notices of LRC).
-	writeLog [][][]pageID
-
-	// lockVC[id] is the releaser's vector clock at the last release of
-	// lock id, transferred to the next acquirer.
-	lockVC map[int][]uint32
+	eng    *protocol.PageEngine
+	caches []*cache.Hierarchy
 
 	// profOn enables the hot-page/hot-lock profile (the paper's wished-for
 	// SVM performance tool; see profile.go). When set, Attach installs a
@@ -72,25 +47,44 @@ type Platform struct {
 // The page size must be a power of two (it always has been: page-grained
 // protocols inherit it from the MMU).
 func New(as *mem.AddressSpace, p Params, np int) *Platform {
-	return &Platform{
+	s := &Platform{
 		P: p, as: as, np: np,
 		pageShift: PageShift(p.PageSize),
 		levelCost: [3]uint64{cache.L1Hit: 0, cache.L2Hit: p.L2HitCost, cache.Miss: p.MemCost},
 	}
+	s.eng = protocol.NewPageEngine(protocol.PageConfig{
+		Params: p, Domains: np, Host: s,
+		CountApplies: true,
+		Scope:        "svm", Noun: "node",
+	})
+	return s
 }
 
 // PageShift returns log2(n), panicking unless n is a power of two. Page-
 // grained platforms use it to turn per-access page-number divisions into
 // shifts.
-func PageShift(n uint64) uint {
-	if n == 0 || n&(n-1) != 0 {
-		panic(fmt.Sprintf("svm: page size %d is not a power of two", n))
-	}
-	for sh := uint(0); ; sh++ {
-		if 1<<sh == n {
-			return sh
-		}
-	}
+func PageShift(n uint64) uint { return protocol.PageShift(n) }
+
+// HomeDomain implements protocol.PageHost: flat platform, one domain per
+// node, homes straight from the address space's page placement.
+func (s *Platform) HomeDomain(addr uint64) int { return s.as.Home(addr) }
+
+// HandlerProc implements protocol.PageHost: a node runs its own handlers.
+func (s *Platform) HandlerProc(dom int) int { return dom }
+
+// MemberRange implements protocol.PageHost: a domain is exactly one node.
+func (s *Platform) MemberRange(dom int) (int, int) { return dom, dom + 1 }
+
+// PageArrived implements protocol.PageHost: the fetched page's contents
+// changed under the node's caches.
+func (s *Platform) PageArrived(dom int, pg uint64) {
+	s.caches[dom].InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
+}
+
+// DiffApplied implements protocol.PageHost: the home copy changed under the
+// home's caches.
+func (s *Platform) DiffApplied(home int, pg uint64) {
+	s.caches[home].InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
 }
 
 // Name implements sim.Platform.
@@ -109,87 +103,40 @@ func (s *Platform) LineSize() int { return CacheConfig.Line }
 func (s *Platform) Attach(k *sim.Kernel) {
 	s.k = k
 	npages := int(s.as.NumPages()) + 1
-	if len(s.nodes) == s.np && npages <= s.npagesAlloc {
-		for _, n := range s.nodes {
-			clear(n.vc)
-			n.interval = 0
-			clear(n.valid)
-			clear(n.dirty)
-			n.dirtyLst = n.dirtyLst[:0]
-			n.pending = n.pending[:0]
-			n.cache.Reset()
-			n.nic = sim.Resource{}
+	if s.eng.Init(k, npages) {
+		for _, h := range s.caches {
+			h.Reset()
 		}
-		for i := range s.writeLog {
-			s.writeLog[i] = append(s.writeLog[i][:0], nil) // interval 0
-		}
-		clear(s.lockVC)
 	} else {
-		s.nodes = make([]*node, s.np)
-		for i := 0; i < s.np; i++ {
-			n := &node{
-				vc:    make([]uint32, s.np),
-				valid: make([]bool, npages),
-				dirty: make([]bool, npages),
-				cache: cache.New(CacheConfig),
-			}
-			s.nodes[i] = n
+		s.caches = make([]*cache.Hierarchy, s.np)
+		for i := range s.caches {
+			s.caches[i] = cache.New(CacheConfig)
 		}
-		s.writeLog = make([][][]pageID, s.np)
-		for i := range s.writeLog {
-			s.writeLog[i] = [][]pageID{nil} // interval 0
-		}
-		s.lockVC = map[int][]uint32{}
-		s.npagesAlloc = npages
 	}
 	if s.profOn {
 		s.counting = trace.NewCounting(s.np)
 		k.AddRunSink(s.counting)
-	}
-	// Home copies are valid at their homes from the start (untimed
-	// initialization, as in the paper).
-	for pg := 0; pg < npages; pg++ {
-		h := s.as.Home(uint64(pg) * s.P.PageSize)
-		if h < s.np {
-			s.nodes[h].valid[pg] = true
-		}
-	}
-}
-
-func (s *Platform) ensurePage(n *node, pg pageID) {
-	for uint64(len(n.valid)) <= pg {
-		n.valid = append(n.valid, false)
-		n.dirty = append(n.dirty, false)
 	}
 }
 
 // Prevalidate implements sim.Prevalidator: pages of [addr, addr+n) get a
 // valid (clean) copy at node, modelling data placed during untimed setup.
 func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
-	if nd < 0 || nd >= s.np {
-		return
-	}
-	first := addr >> s.pageShift
-	last := (addr + uint64(nbytes) - 1) >> s.pageShift
-	n := s.nodes[nd]
-	for pg := first; pg <= last; pg++ {
-		s.ensurePage(n, pg)
-		n.valid[pg] = true
-	}
+	s.eng.Prevalidate(addr, nbytes, nd)
 }
 
 // FastAccess implements sim.Platform: hits on valid pages (and writes on
 // already-dirty pages) are purely local.
 func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
-	n := s.nodes[p]
+	d := s.eng.Doms[p]
 	pg := addr >> s.pageShift
-	if pg >= uint64(len(n.valid)) || !n.valid[pg] {
+	if pg >= uint64(len(d.Valid)) || !d.Valid[pg] {
 		return 0, false
 	}
-	if write && !n.dirty[pg] {
+	if write && !d.Dirty[pg] {
 		return 0, false // needs a write trap + twin
 	}
-	lvl, _ := n.cache.Access(addr, write, cache.Exclusive)
+	lvl, _ := s.caches[p].Access(addr, write, cache.Exclusive)
 	return s.levelCost[lvl], true
 }
 
@@ -201,16 +148,17 @@ func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint6
 // so simulated cost and cache evolution are bit-identical to the scalar
 // path.
 func (s *Platform) FastRange(p int, now uint64, addr, end uint64, write bool) (int, uint64) {
-	n := s.nodes[p]
+	d := s.eng.Doms[p]
+	h := s.caches[p]
 	line := uint64(CacheConfig.Line)
 	count := 0
 	var stall uint64
 	for addr < end {
 		pg := addr >> s.pageShift
-		if pg >= uint64(len(n.valid)) || !n.valid[pg] {
+		if pg >= uint64(len(d.Valid)) || !d.Valid[pg] {
 			break
 		}
-		if write && !n.dirty[pg] {
+		if write && !d.Dirty[pg] {
 			break
 		}
 		stop := (pg + 1) << s.pageShift
@@ -218,7 +166,7 @@ func (s *Platform) FastRange(p int, now uint64, addr, end uint64, write bool) (i
 			stop = end
 		}
 		for addr < stop {
-			lvl, _ := n.cache.Access(addr, write, cache.Exclusive)
+			lvl, _ := h.Access(addr, write, cache.Exclusive)
 			switch lvl {
 			case cache.L2Hit:
 				stall += s.P.L2HitCost
@@ -233,62 +181,20 @@ func (s *Platform) FastRange(p int, now uint64, addr, end uint64, write bool) (i
 }
 
 // SlowAccess implements sim.Platform: page faults (fetch from home) and
-// first-write traps (twin creation).
+// first-write traps (twin creation), priced by the page engine; the local
+// cache walk follows as on the fast path.
 func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
-	n := s.nodes[p]
+	d := s.eng.Doms[p]
 	pg := addr >> s.pageShift
-	s.ensurePage(n, pg)
-	c := s.k.Counters(p)
+	s.eng.EnsurePage(p, pg)
 	var cost sim.AccessCost
-
-	if !n.valid[pg] {
-		// Remote page fault: fetch the whole page from the home.
-		c.PageFaults++
-		s.k.Emit(trace.PageFault, p, now, pg, 0)
-		home := s.as.Home(addr)
-		if home == p {
-			// Home lost validity? Homes never invalidate their own
-			// pages in this model, so this means a never-touched
-			// page past the prevalidated range; treat as local.
-			n.valid[pg] = true
-		} else {
-			c.PageFetches++
-			hc := s.k.Counters(home)
-			hc.PagesServed++
-			reqArrive := now + s.P.FaultOverhead + s.P.MsgSend + s.P.NetLatency
-			service := s.P.MsgRecv + s.P.HomeService + s.P.PageXfer
-			start := s.nodes[home].nic.Acquire(reqArrive, service)
-			s.k.ChargeHandler(home, service)
-			// The page crosses the requester's I/O bus too before the
-			// faulting processor can be resumed.
-			done := start + service + s.P.NetLatency + s.P.PageXfer + s.P.MsgRecv
-			cost.DataWait += done - now
-			s.k.Emit(trace.PageFetch, p, now, pg, done-now)
-			s.k.Emit(trace.NICOccupy, home, start, pg, service)
-			n.valid[pg] = true
-			n.dirty[pg] = false
-			// The page contents changed under the caches.
-			n.cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
-		}
+	if !d.Valid[pg] {
+		cost.DataWait += s.eng.Fault(p, p, now, addr)
 	}
-
-	if write && !n.dirty[pg] && s.np > 1 {
-		// First write in this interval: write trap; non-home writers
-		// also make a twin for later diffing. A uniprocessor run has
-		// no coherence to maintain, so pages are never write-protected
-		// (the paper's sequential baseline is plain execution).
-		cost.Handler += s.P.WriteTrap
-		s.k.Emit(trace.WriteTrap, p, now, pg, s.P.WriteTrap)
-		if s.as.Home(addr) != p {
-			cost.Handler += s.P.TwinCost
-			c.TwinsMade++
-			s.k.Emit(trace.TwinCreate, p, now, pg, s.P.TwinCost)
-		}
-		n.dirty[pg] = true
-		n.dirtyLst = append(n.dirtyLst, pg)
+	if write && !d.Dirty[pg] {
+		cost.Handler += s.eng.Trap(p, p, now, addr)
 	}
-
-	lvl, _ := n.cache.Access(addr, write, cache.Exclusive)
+	lvl, _ := s.caches[p].Access(addr, write, cache.Exclusive)
 	switch lvl {
 	case cache.L2Hit:
 		cost.CacheStall += s.P.L2HitCost
@@ -296,145 +202,6 @@ func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.Ac
 		cost.CacheStall += s.P.MemCost
 	}
 	return cost
-}
-
-// diffHome computes the diff of page pg against its twin, ships it to the
-// page's home and has the home apply it (updating the home copy under the
-// home's caches). It returns the cycles spent on the diffing node p; the
-// home's receive/apply work is charged asynchronously to the home.
-func (s *Platform) diffHome(p int, pg pageID, now uint64) (local uint64) {
-	home := s.as.Home(pg * s.P.PageSize)
-	s.k.Counters(p).DiffsCreated++
-	local = s.P.DiffCreate + s.P.MsgSend
-	s.k.Emit(trace.DiffCreate, p, now+local, pg, s.P.DiffCreate)
-	s.k.Counters(home).DiffsApplied++
-	service := s.P.MsgRecv + s.P.DiffXfer + s.P.DiffApply
-	start := s.nodes[home].nic.Acquire(now+local+s.P.NetLatency, service)
-	s.k.ChargeHandler(home, service)
-	s.k.Emit(trace.DiffApply, home, start, pg, service)
-	s.k.Emit(trace.NICOccupy, home, start, pg, service)
-	s.nodes[home].cache.InvalidateRange(pg*s.P.PageSize, int(s.P.PageSize))
-	return local
-}
-
-// flush computes diffs for all pages dirtied in the current interval, sends
-// them to their homes, logs write notices, and opens a new interval. It
-// returns the handler cycles spent by the flushing node.
-func (s *Platform) flush(p int, now uint64) (handler uint64) {
-	n := s.nodes[p]
-	var log []pageID
-	// Pages whose diff already went home at an acquire-time invalidation
-	// still owe a write notice in this interval; re-dirtied ones are
-	// covered by the dirty-list walk below.
-	for _, pg := range n.pending {
-		if n.dirty[pg] {
-			continue
-		}
-		log = append(log, pg)
-		handler += s.P.NoticeCost
-		s.k.Emit(trace.WriteNotice, p, now+handler, pg, s.P.NoticeCost)
-	}
-	n.pending = n.pending[:0]
-	for _, pg := range n.dirtyLst {
-		n.dirty[pg] = false
-		log = append(log, pg)
-		handler += s.P.NoticeCost
-		s.k.Emit(trace.WriteNotice, p, now+handler, pg, s.P.NoticeCost)
-		if s.as.Home(pg*s.P.PageSize) != p {
-			// Diff against the twin, ship to home, home applies.
-			handler += s.diffHome(p, pg, now+handler)
-		}
-	}
-	n.dirtyLst = n.dirtyLst[:0]
-	s.writeLog[p] = append(s.writeLog[p], log)
-	if n.interval == math.MaxUint32 {
-		// Intervals advance at every release and barrier arrival whether or
-		// not anything was written, so a long enough run genuinely gets
-		// here. Wrapping would silently reorder the vector clocks (interval
-		// 0 would compare older than everything it follows), so fail loudly;
-		// the kernel contains the panic as a ProcPanicError.
-		panic(&IntervalOverflowError{Node: p})
-	}
-	n.interval++
-	n.vc[p] = n.interval
-	return handler
-}
-
-// removeDirty drops pg from the node's pending-flush list, preserving the
-// order of the remaining entries (flush walks the list in order, so its
-// order is part of the run's determinism).
-func (n *node) removeDirty(pg pageID) {
-	for i, d := range n.dirtyLst {
-		if d == pg {
-			n.dirtyLst = append(n.dirtyLst[:i], n.dirtyLst[i+1:]...)
-			return
-		}
-	}
-}
-
-// addPending records pg as diffed-but-unnotified in the open interval. A page
-// can be invalidated while dirty more than once per interval (re-fetch and
-// re-write between two acquires), so membership is checked to keep the list
-// duplicate-free — one notice per page per interval.
-func (n *node) addPending(pg pageID) {
-	for _, q := range n.pending {
-		if q == pg {
-			return
-		}
-	}
-	n.pending = append(n.pending, pg)
-}
-
-// invalidateUpTo advances node p's knowledge of q to interval upTo,
-// invalidating p's copies of every page q flushed in the newly covered
-// intervals (the Invalidate trace events land at virtual time now). Returns
-// the number of pages actually invalidated and the cycles node p spent
-// flushing diffs of dirty pages home before dropping them.
-func (s *Platform) invalidateUpTo(p, q int, upTo uint32, now uint64) (inv int, diffC uint64) {
-	if p == q {
-		return 0, 0
-	}
-	n := s.nodes[p]
-	for i := n.vc[q] + 1; i <= upTo; i++ {
-		if int(i) >= len(s.writeLog[q]) {
-			break
-		}
-		for _, pg := range s.writeLog[q][i] {
-			s.ensurePage(n, pg)
-			// The home keeps its copy up to date by applying
-			// diffs; everyone else invalidates.
-			if s.as.Home(pg*s.P.PageSize) == p {
-				continue
-			}
-			if n.valid[pg] {
-				if n.dirty[pg] {
-					// The page was written here in the still-open
-					// interval. A multiple-writer protocol must not lose
-					// those writes: compute the diff against the twin and
-					// flush it home before dropping the copy
-					// (TreadMarks-style diff-on-invalidate; word-grained
-					// diffs merge at the home, which is what makes
-					// falsely-shared pages safe). The write notice is
-					// still published when the interval closes. Leaving
-					// the entry in dirtyLst instead would flush a diff
-					// for an invalid page — and a re-write after a
-					// refetch would append a duplicate entry,
-					// double-counting the diff.
-					diffC += s.diffHome(p, pg, now+diffC)
-					n.removeDirty(pg)
-					n.addPending(pg)
-				}
-				n.valid[pg] = false
-				n.dirty[pg] = false
-				inv++
-				s.k.Emit(trace.Invalidate, p, now, pg, s.P.InvalCost)
-			}
-		}
-	}
-	if upTo > n.vc[q] {
-		n.vc[q] = upTo
-	}
-	return inv, diffC
 }
 
 // LockRequest implements sim.Platform: the acquirer sends a request to the
@@ -454,43 +221,21 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 	if prevHolder >= 0 && prevHolder != p {
 		cost += s.P.MsgSend + s.P.NetLatency + s.P.MsgRecv // manager->holder hop
 	}
-	if rvc, ok := s.lockVC[lock]; ok {
-		inv := 0
-		var diff uint64
-		for q := 0; q < s.np; q++ {
-			i, diffC := s.invalidateUpTo(p, q, rvc[q], now+diff)
-			inv += i
-			diff += diffC
-		}
-		// Diff work is protocol-handler time, charged asynchronously like
-		// the release-side flush — it must not serialize lock handoffs.
-		s.k.ChargeHandler(p, diff)
-		cost += uint64(inv) * s.P.InvalCost
-		s.k.Counters(p).Invalidations += uint64(inv)
-	}
-	return cost
+	return cost + s.eng.AcquireApply(lock, p, p, now)
 }
 
 // LockRelease implements sim.Platform: HLRC propagates diffs to homes at
 // release; the release itself is local (lazy protocol).
 func (s *Platform) LockRelease(p int, now uint64, lock int) (syncC, handler, freeDelay uint64) {
-	handler = s.flush(p, now)
-	// Reuse the lock's release-VC backing array: LockGrant consumes the
-	// values synchronously before the next release of the same lock can
-	// overwrite them, and the map already held last-release-wins semantics.
-	rvc := s.lockVC[lock]
-	if rvc == nil {
-		rvc = make([]uint32, s.np)
-		s.lockVC[lock] = rvc
-	}
-	copy(rvc, s.nodes[p].vc)
+	handler = s.eng.Flush(p, p, now)
+	s.eng.SaveLockVC(lock, p)
 	return 100, handler, 0
 }
 
 // BarrierArrive implements sim.Platform: arrival flushes diffs to homes and
 // sends the arrival message with write notices to the barrier manager.
 func (s *Platform) BarrierArrive(p int, now uint64) (syncC, handler uint64) {
-	handler = s.flush(p, now)
+	handler = s.eng.Flush(p, p, now)
 	return s.P.MsgSend + s.P.NetLatency, handler
 }
 
@@ -498,41 +243,18 @@ func (s *Platform) BarrierArrive(p int, now uint64) (syncC, handler uint64) {
 // arrival message per processor (merging write notices), then broadcasts the
 // release.
 func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
-	var maxArr uint64
-	for _, a := range arrivals {
-		if a > maxArr {
-			maxArr = a
-		}
-	}
-	mgrWork := uint64(len(arrivals)) * (s.P.MsgRecv/4 + s.P.BarrierPerProc)
-	if manager >= 0 && manager < s.np {
-		s.k.ChargeHandler(manager, mgrWork)
-	}
-	return maxArr + mgrWork + s.P.BarrierBcast + s.P.NetLatency
+	return s.eng.ReleaseWork(arrivals, manager, len(arrivals))
 }
 
 // BarrierDepart implements sim.Platform: on departure every node has merged
 // every other node's vector clock; stale copies are invalidated.
 func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
-	inv := 0
-	var diff uint64
-	for q := 0; q < s.np; q++ {
-		if q == p {
-			continue
-		}
-		// Arrival flushed this node's dirty pages, so diffC is zero here in
-		// practice; accounted anyway for symmetry with LockGrant.
-		i, diffC := s.invalidateUpTo(p, q, s.nodes[q].vc[q], releaseTime+diff)
-		inv += i
-		diff += diffC
-	}
-	s.k.ChargeHandler(p, diff)
-	s.k.Counters(p).Invalidations += uint64(inv)
-	return s.P.MsgRecv + uint64(inv)*s.P.InvalCost
+	return s.P.MsgRecv + s.eng.DepartApply(p, p, releaseTime)
 }
 
 var (
 	_ sim.Platform      = (*Platform)(nil)
 	_ sim.Prevalidator  = (*Platform)(nil)
 	_ sim.RangeAccessor = (*Platform)(nil)
+	_ protocol.PageHost = (*Platform)(nil)
 )

@@ -70,7 +70,7 @@ func TestDiffApplyDropsHomeClusterLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	la := a / uint64(pl.LineSize())
-	if e, ok := pl.cl[0].lines[la]; ok && e.sharers != 0 {
-		t.Errorf("home cluster line table still lists sharers %#x after diff apply", e.sharers)
+	if e, ok := pl.lineEng[0].Lines[la]; ok && e.Sharers != 0 {
+		t.Errorf("home cluster line table still lists sharers %#x after diff apply", e.Sharers)
 	}
 }

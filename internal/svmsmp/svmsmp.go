@@ -10,17 +10,23 @@
 // intra-cluster sharing dodge the SVM tax, do cluster-grained twins cut
 // protocol work, how do locks behave when the previous holder is a cluster
 // mate — are all answerable with this model; see the TwoLevel benchmarks.
+//
+// Both protocol layers live in internal/protocol: one PageEngine whose
+// coherence domains are the clusters, stacked on a {MESI × SnoopBus}
+// LineEngine per cluster with broadcast upgrade accounting. This package is
+// the composition: it maps processors to clusters and wires the page layer's
+// "contents changed" callbacks down into the line layer.
 package svmsmp
 
 import (
-	"math"
+	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/svm"
-	"repro/internal/trace"
 )
 
 // DefaultClusterSize is the paper's envisioned PC-SMP node size.
@@ -41,30 +47,6 @@ func DefaultParams() Params {
 	return Params{SVM: svm.DefaultParams(), Bus: smp.DefaultParams(), ClusterSize: DefaultClusterSize}
 }
 
-type pageID = uint64
-
-// cluster holds one SMP node's protocol state: the page-grained SVM state
-// (per cluster) plus the line-grained coherence state among its processors.
-type cluster struct {
-	vc       []uint32
-	interval uint32
-	valid    []bool
-	dirty    []bool
-	dirtyLst []pageID
-	// pending lists pages already diffed home by an acquire-time
-	// invalidation in the still-open interval; the next flush publishes
-	// their write notices without diffing them again (see internal/svm).
-	pending []pageID
-	nic     sim.Resource
-	bus     sim.Resource
-	lines   map[uint64]*lineEntry // line -> intra-cluster sharers/owner
-}
-
-type lineEntry struct {
-	sharers uint64 // bitmask of local (cluster-relative) processors
-	owner   int8
-}
-
 // Platform is the two-level machine model.
 type Platform struct {
 	P      Params
@@ -74,12 +56,16 @@ type Platform struct {
 	// pageShift is log2(SVM.PageSize); page-number extraction is on the
 	// access fast path (see internal/svm).
 	pageShift uint
-	caches    []*cache.Hierarchy
-	cl        []*cluster
 
-	writeLog [][][]pageID // per cluster
-	lockVC   map[int][]uint32
-	lockCl   map[int]int // lock -> cluster of last holder
+	eng *protocol.PageEngine // inter-cluster HLRC, one domain per cluster
+	// lineEng/buses are the intra-cluster layer, one {MESI × SnoopBus} pair
+	// per cluster; caches is the flat per-processor view into the engines'
+	// member caches (caches[p] == lineEng[clusterOf(p)].Caches[p%ClusterSize]).
+	lineEng []*protocol.LineEngine
+	buses   []*protocol.SnoopBus
+	caches  []*cache.Hierarchy
+
+	lockCl map[int]int // lock -> cluster of last holder
 }
 
 // New creates a two-level platform for np processors grouped into clusters.
@@ -88,7 +74,12 @@ func New(as *mem.AddressSpace, p Params, np int) *Platform {
 		p.ClusterSize = DefaultClusterSize
 	}
 	nc := (np + p.ClusterSize - 1) / p.ClusterSize
-	return &Platform{P: p, as: as, np: np, nc: nc, pageShift: svm.PageShift(p.SVM.PageSize)}
+	s := &Platform{P: p, as: as, np: np, nc: nc, pageShift: svm.PageShift(p.SVM.PageSize)}
+	s.eng = protocol.NewPageEngine(protocol.PageConfig{
+		Params: p.SVM, Domains: nc, Host: s,
+		Scope: "svmsmp", Noun: "cluster",
+	})
+	return s
 }
 
 // Name implements sim.Platform.
@@ -99,94 +90,87 @@ func (s *Platform) LineSize() int { return smp.CacheConfig.Line }
 
 func (s *Platform) clusterOf(p int) int { return p / s.P.ClusterSize }
 
-// homeCluster maps a page's home processor to its cluster.
-func (s *Platform) homeCluster(addr uint64) int {
+// HomeDomain implements protocol.PageHost: a page's home cluster is the
+// cluster of its home processor.
+func (s *Platform) HomeDomain(addr uint64) int {
 	return s.clusterOf(s.as.Home(addr) % s.np)
 }
+
+// HandlerProc implements protocol.PageHost: protocol handlers run on a
+// cluster's first processor.
+func (s *Platform) HandlerProc(dom int) int { return dom * s.P.ClusterSize }
+
+// MemberRange implements protocol.PageHost.
+func (s *Platform) MemberRange(dom int) (int, int) {
+	lo := dom * s.P.ClusterSize
+	hi := lo + s.P.ClusterSize
+	if hi > s.np {
+		hi = s.np
+	}
+	return lo, hi
+}
+
+// dropPageLines invalidates a page's lines in every member cache of cluster
+// cid and drops the page's entries from the cluster's line table: the page
+// contents changed (fetch or applied diff), so sharer/owner entries would
+// otherwise survive for copies no cache holds.
+func (s *Platform) dropPageLines(cid int, pg uint64) {
+	base := pg * s.P.SVM.PageSize
+	for _, h := range s.lineEng[cid].Caches {
+		h.InvalidateRange(base, int(s.P.SVM.PageSize))
+	}
+	lineSz := uint64(s.LineSize())
+	for la := base / lineSz; la <= (base+s.P.SVM.PageSize-1)/lineSz; la++ {
+		delete(s.lineEng[cid].Lines, la)
+	}
+}
+
+// PageArrived implements protocol.PageHost.
+func (s *Platform) PageArrived(dom int, pg uint64) { s.dropPageLines(dom, pg) }
+
+// DiffApplied implements protocol.PageHost.
+func (s *Platform) DiffApplied(home int, pg uint64) { s.dropPageLines(home, pg) }
 
 // Attach implements sim.Platform.
 func (s *Platform) Attach(k *sim.Kernel) {
 	s.k = k
-	npages := int(s.as.NumPages()) + 1
+	s.eng.Init(k, int(s.as.NumPages())+1)
 	s.caches = make([]*cache.Hierarchy, s.np)
-	s.cl = make([]*cluster, s.nc)
+	s.lineEng = make([]*protocol.LineEngine, s.nc)
+	s.buses = make([]*protocol.SnoopBus, s.nc)
 	for c := 0; c < s.nc; c++ {
-		s.cl[c] = &cluster{
-			vc:    make([]uint32, s.nc),
-			valid: make([]bool, npages),
-			dirty: make([]bool, npages),
-			lines: map[uint64]*lineEntry{},
+		members := s.P.ClusterSize
+		if rest := s.np - c*s.P.ClusterSize; rest < members {
+			members = rest
 		}
-	}
-	for i := 0; i < s.np; i++ {
-		h := cache.New(smp.CacheConfig)
-		nd := i
-		cl := s.cl[s.clusterOf(i)]
-		local := int8(i % s.P.ClusterSize)
-		h.OnL2Evict = func(la uint64, st cache.State) {
-			if e, ok := cl.lines[la]; ok {
-				e.sharers &^= 1 << uint(nd%s.P.ClusterSize)
-				if e.owner == local {
-					e.owner = -1
-				}
-			}
+		s.lineEng[c] = protocol.NewLineEngine(protocol.MESI, smp.CacheConfig, members)
+		// Short intra-cluster buses: broadcast upgrade accounting, no
+		// per-transaction miss classification (the page layer above owns
+		// miss accounting), BusOccupy stamped with the cluster id.
+		s.buses[c] = &protocol.SnoopBus{
+			P:       s.P.Bus,
+			Upgrade: protocol.UpgradeBroadcast,
+			Acct:    protocol.BusAccounting{TraceID: c},
 		}
-		s.caches[i] = h
+		copy(s.caches[c*s.P.ClusterSize:], s.lineEng[c].Caches)
 	}
-	s.writeLog = make([][][]pageID, s.nc)
-	for i := range s.writeLog {
-		s.writeLog[i] = [][]pageID{nil}
-	}
-	s.lockVC = map[int][]uint32{}
 	s.lockCl = map[int]int{}
-	for pg := 0; pg < npages; pg++ {
-		hc := s.homeCluster(uint64(pg) * s.P.SVM.PageSize)
-		if hc < s.nc {
-			s.cl[hc].valid[pg] = true
-		}
-	}
-}
-
-func (s *Platform) ensurePage(c *cluster, pg pageID) {
-	for uint64(len(c.valid)) <= pg {
-		c.valid = append(c.valid, false)
-		c.dirty = append(c.dirty, false)
-	}
 }
 
 // Prevalidate implements sim.Prevalidator at cluster granularity.
 func (s *Platform) Prevalidate(addr uint64, nbytes int, nd int) {
-	cid := s.clusterOf(nd)
-	if cid < 0 || cid >= s.nc {
-		return
-	}
-	c := s.cl[cid]
-	first := addr >> s.pageShift
-	last := (addr + uint64(nbytes) - 1) >> s.pageShift
-	for pg := first; pg <= last; pg++ {
-		s.ensurePage(c, pg)
-		c.valid[pg] = true
-	}
-}
-
-func (s *Platform) entry(c *cluster, la uint64) *lineEntry {
-	e, ok := c.lines[la]
-	if !ok {
-		e = &lineEntry{owner: -1}
-		c.lines[la] = e
-	}
-	return e
+	s.eng.Prevalidate(addr, nbytes, s.clusterOf(nd))
 }
 
 // FastAccess implements sim.Platform: the page must be valid at the cluster
 // (and cluster-dirty for writes), then intra-cluster MESI applies.
 func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint64, bool) {
-	c := s.cl[s.clusterOf(p)]
+	d := s.eng.Doms[s.clusterOf(p)]
 	pg := addr >> s.pageShift
-	if pg >= uint64(len(c.valid)) || !c.valid[pg] {
+	if pg >= uint64(len(d.Valid)) || !d.Valid[pg] {
 		return 0, false
 	}
-	if write && !c.dirty[pg] {
+	if write && !d.Dirty[pg] {
 		return 0, false
 	}
 	lvl, _, ok := s.caches[p].HitAccess(addr, write)
@@ -200,243 +184,26 @@ func (s *Platform) FastAccess(p int, now uint64, addr uint64, write bool) (uint6
 }
 
 // SlowAccess implements sim.Platform: inter-cluster page faults and write
-// traps first, then an intra-cluster bus transaction for the line.
+// traps first (one trap + twin per CLUSTER per interval — the two-level
+// hierarchy's big saving over plain SVM), then an intra-cluster bus
+// transaction for the line.
 func (s *Platform) SlowAccess(p int, now uint64, addr uint64, write bool) sim.AccessCost {
 	cid := s.clusterOf(p)
-	c := s.cl[cid]
+	d := s.eng.Doms[cid]
 	pg := addr >> s.pageShift
-	s.ensurePage(c, pg)
-	cnt := s.k.Counters(p)
+	s.eng.EnsurePage(cid, pg)
 	var cost sim.AccessCost
-
-	if !c.valid[pg] {
-		cnt.PageFaults++
-		s.k.Emit(trace.PageFault, p, now, pg, 0)
-		hc := s.homeCluster(addr)
-		if hc == cid {
-			c.valid[pg] = true
-		} else {
-			cnt.PageFetches++
-			P := s.P.SVM
-			reqArrive := now + P.FaultOverhead + P.MsgSend + P.NetLatency
-			service := P.MsgRecv + P.HomeService + P.PageXfer
-			start := s.cl[hc].nic.Acquire(reqArrive, service)
-			// The handler runs on the home cluster's first processor.
-			s.k.ChargeHandler(hc*s.P.ClusterSize, service)
-			s.k.Counters(hc*s.P.ClusterSize).PagesServed++
-			done := start + service + P.NetLatency + P.PageXfer + P.MsgRecv
-			cost.DataWait += done - now
-			s.k.Emit(trace.PageFetch, p, now, pg, done-now)
-			s.k.Emit(trace.NICOccupy, hc, start, pg, service)
-			c.valid[pg] = true
-			c.dirty[pg] = false
-			// Every cluster member's cached lines of the page are stale.
-			base := pg * P.PageSize
-			for q := cid * s.P.ClusterSize; q < (cid+1)*s.P.ClusterSize && q < s.np; q++ {
-				s.caches[q].InvalidateRange(base, int(P.PageSize))
-			}
-			for la := base / uint64(s.LineSize()); la <= (base+P.PageSize-1)/uint64(s.LineSize()); la++ {
-				delete(c.lines, la)
-			}
-		}
+	if !d.Valid[pg] {
+		cost.DataWait += s.eng.Fault(p, cid, now, addr)
 	}
-
-	if write && !c.dirty[pg] && s.nc > 1 {
-		// One write trap + twin per CLUSTER per interval — the
-		// two-level hierarchy's big saving over plain SVM.
-		cost.Handler += s.P.SVM.WriteTrap
-		s.k.Emit(trace.WriteTrap, p, now, pg, s.P.SVM.WriteTrap)
-		if s.homeCluster(addr) != cid {
-			cost.Handler += s.P.SVM.TwinCost
-			cnt.TwinsMade++
-			s.k.Emit(trace.TwinCreate, p, now, pg, s.P.SVM.TwinCost)
-		}
-		c.dirty[pg] = true
-		c.dirtyLst = append(c.dirtyLst, pg)
+	if write && !d.Dirty[pg] {
+		cost.Handler += s.eng.Trap(p, cid, now, addr)
 	}
-
-	// Intra-cluster line coherence over the cluster bus.
-	h := s.caches[p]
-	la := h.LineOf(addr)
-	e := s.entry(c, la)
-	local := p % s.P.ClusterSize
-	occ := s.P.Bus.BusArb + s.P.Bus.BusXfer
-	start := c.bus.Acquire(now, occ)
-	wait := start - now + occ
-	cnt.BusTransactions++
-	s.k.Emit(trace.BusOccupy, cid, start, la, occ)
-	if write {
-		if e.owner >= 0 && int(e.owner) != local {
-			s.caches[cid*s.P.ClusterSize+int(e.owner)].SetState(addr, cache.Invalid)
-			cost.DataWait += wait + s.P.Bus.C2CLat
-		} else if sh := e.sharers &^ (1 << uint(local)); sh != 0 {
-			for q := 0; q < s.P.ClusterSize; q++ {
-				if sh&(1<<uint(q)) != 0 {
-					s.caches[cid*s.P.ClusterSize+q].SetState(addr, cache.Invalid)
-				}
-			}
-			cost.DataWait += wait + s.P.Bus.InvalPer
-		} else {
-			cost.CacheStall += wait + s.P.Bus.MemLat
-		}
-		e.sharers = 1 << uint(local)
-		e.owner = int8(local)
-		h.Access(addr, true, cache.Modified)
-		// Access applies fillState only on a miss; on a write UPGRADE the
-		// line hits in state Shared and would stay Shared, so the owner
-		// would keep paying upgrade transactions for a line it owns.
-		h.SetState(addr, cache.Modified)
-	} else {
-		if e.owner >= 0 && int(e.owner) != local {
-			s.caches[cid*s.P.ClusterSize+int(e.owner)].SetState(addr, cache.Shared)
-			e.sharers |= 1 << uint(e.owner)
-			e.owner = -1
-			cost.DataWait += wait + s.P.Bus.C2CLat
-		} else {
-			cost.CacheStall += wait + s.P.Bus.MemLat
-		}
-		e.sharers |= 1 << uint(local)
-		fill := cache.Shared
-		if e.sharers == 1<<uint(local) && e.owner < 0 {
-			fill = cache.Exclusive
-			e.owner = int8(local)
-		}
-		h.Access(addr, false, fill)
-	}
+	bc := s.buses[cid].SlowLine(s.k, s.lineEng[cid], p%s.P.ClusterSize, p, now, addr, write)
+	cost.CacheStall += bc.CacheStall
+	cost.DataWait += bc.DataWait
+	cost.Handler += bc.Handler
 	return cost
-}
-
-// diffHome computes the diff of page pg against the cluster's twin, ships it
-// to the page's home cluster and has it applied there. It returns the cycles
-// spent on the diffing processor p; the home cluster's receive/apply work is
-// charged asynchronously. Only called for pages homed in another cluster.
-func (s *Platform) diffHome(p, cid int, pg pageID, now uint64) (local uint64) {
-	P := s.P.SVM
-	hc := s.homeCluster(pg * P.PageSize)
-	s.k.Counters(p).DiffsCreated++
-	local = P.DiffCreate + P.MsgSend
-	s.k.Emit(trace.DiffCreate, p, now+local, pg, P.DiffCreate)
-	service := P.MsgRecv + P.DiffXfer + P.DiffApply
-	start := s.cl[hc].nic.Acquire(now+local+P.NetLatency, service)
-	s.k.ChargeHandler(hc*s.P.ClusterSize, service)
-	s.k.Emit(trace.DiffApply, hc*s.P.ClusterSize, start, pg, service)
-	s.k.Emit(trace.NICOccupy, hc, start, pg, service)
-	// The applied diff changes the home copy under the home cluster's
-	// caches; the intra-cluster sharer/owner entries must go with it, or a
-	// later access would pay a cache-to-cache transfer for a copy that no
-	// longer exists (and the stale owner would survive as Shared).
-	base := pg * P.PageSize
-	for q := hc * s.P.ClusterSize; q < (hc+1)*s.P.ClusterSize && q < s.np; q++ {
-		s.caches[q].InvalidateRange(base, int(P.PageSize))
-	}
-	for la := base / uint64(s.LineSize()); la <= (base+P.PageSize-1)/uint64(s.LineSize()); la++ {
-		delete(s.cl[hc].lines, la)
-	}
-	return local
-}
-
-// flush ships the cluster's dirty pages to their home clusters and opens a
-// new interval (see svm.Platform.flush; state is per cluster here).
-func (s *Platform) flush(p int, now uint64) (handler uint64) {
-	cid := s.clusterOf(p)
-	c := s.cl[cid]
-	P := s.P.SVM
-	var log []pageID
-	// Pages diffed home at an acquire-time invalidation still owe a write
-	// notice in this interval; re-dirtied ones are covered below.
-	for _, pg := range c.pending {
-		if c.dirty[pg] {
-			continue
-		}
-		log = append(log, pg)
-		handler += P.NoticeCost
-		s.k.Emit(trace.WriteNotice, p, now+handler, pg, P.NoticeCost)
-	}
-	c.pending = c.pending[:0]
-	for _, pg := range c.dirtyLst {
-		c.dirty[pg] = false
-		log = append(log, pg)
-		handler += P.NoticeCost
-		s.k.Emit(trace.WriteNotice, p, now+handler, pg, P.NoticeCost)
-		if s.homeCluster(pg*P.PageSize) != cid {
-			handler += s.diffHome(p, cid, pg, now+handler)
-		}
-	}
-	c.dirtyLst = c.dirtyLst[:0]
-	s.writeLog[cid] = append(s.writeLog[cid], log)
-	if c.interval == math.MaxUint32 {
-		// Same hazard as svm.Platform.flush: intervals advance at every
-		// release/barrier, and a wrapped uint32 would corrupt every
-		// vector-clock comparison. Fail loudly instead.
-		panic(&svm.IntervalOverflowError{Node: cid})
-	}
-	c.interval++
-	c.vc[cid] = c.interval
-	return handler
-}
-
-// removeDirty drops pg from the cluster's pending-flush list, preserving
-// order (flush walks it in order, which is part of run determinism).
-func (c *cluster) removeDirty(pg pageID) {
-	for i, d := range c.dirtyLst {
-		if d == pg {
-			c.dirtyLst = append(c.dirtyLst[:i], c.dirtyLst[i+1:]...)
-			return
-		}
-	}
-}
-
-// addPending records pg as diffed-but-unnotified in the open interval,
-// keeping the list duplicate-free (one notice per page per interval).
-func (c *cluster) addPending(pg pageID) {
-	for _, q := range c.pending {
-		if q == pg {
-			return
-		}
-	}
-	c.pending = append(c.pending, pg)
-}
-
-// invalidateUpTo advances cluster cid's knowledge of cluster q to interval
-// upTo; p and now identify the acquiring processor and virtual time for the
-// Invalidate trace events.
-func (s *Platform) invalidateUpTo(cid, q int, upTo uint32, p int, now uint64) (inv int, diffC uint64) {
-	if cid == q {
-		return 0, 0
-	}
-	c := s.cl[cid]
-	for i := c.vc[q] + 1; i <= upTo; i++ {
-		if int(i) >= len(s.writeLog[q]) {
-			break
-		}
-		for _, pg := range s.writeLog[q][i] {
-			s.ensurePage(c, pg)
-			if s.homeCluster(pg*s.P.SVM.PageSize) == cid {
-				continue
-			}
-			if c.valid[pg] {
-				if c.dirty[pg] {
-					// Same as svm.Platform.invalidateUpTo: the cluster's
-					// writes must not be lost with the copy, so the diff
-					// is flushed to the home cluster before the page is
-					// dropped; the notice goes out when the interval
-					// closes. Home-cluster pages were skipped above, so
-					// the copy always had a twin.
-					diffC += s.diffHome(p, cid, pg, now+diffC)
-					c.removeDirty(pg)
-					c.addPending(pg)
-				}
-				c.valid[pg] = false
-				c.dirty[pg] = false
-				inv++
-				s.k.Emit(trace.Invalidate, p, now, pg, s.P.SVM.InvalCost)
-			}
-		}
-	}
-	if upTo > c.vc[q] {
-		c.vc[q] = upTo
-	}
-	return inv, diffC
 }
 
 // LockRequest implements sim.Platform: free within a cluster, a message
@@ -463,82 +230,60 @@ func (s *Platform) LockGrant(p int, now uint64, lock int, prevHolder int) uint64
 			cost += s.P.SVM.MsgSend + s.P.SVM.NetLatency + s.P.SVM.MsgRecv
 		}
 	}
-	if rvc, ok := s.lockVC[lock]; ok {
-		inv := 0
-		var diff uint64
-		for q := 0; q < s.nc; q++ {
-			i, diffC := s.invalidateUpTo(cid, q, rvc[q], p, now+diff)
-			inv += i
-			diff += diffC
-		}
-		// Handler time, charged asynchronously like the release-side
-		// flush — it must not serialize lock handoffs (see internal/svm).
-		s.k.ChargeHandler(p, diff)
-		cost += uint64(inv) * s.P.SVM.InvalCost
-		s.k.Counters(p).Invalidations += uint64(inv)
-	}
+	cost += s.eng.AcquireApply(lock, cid, p, now)
 	s.lockCl[lock] = cid
 	return cost
 }
 
 // LockRelease implements sim.Platform.
 func (s *Platform) LockRelease(p int, now uint64, lock int) (uint64, uint64, uint64) {
-	handler := s.flush(p, now)
-	// Backing-array reuse: LockGrant consumes the values synchronously
-	// before the next release of this lock overwrites them (see internal/svm).
-	rvc := s.lockVC[lock]
-	if rvc == nil {
-		rvc = make([]uint32, s.nc)
-		s.lockVC[lock] = rvc
-	}
-	copy(rvc, s.cl[s.clusterOf(p)].vc)
+	cid := s.clusterOf(p)
+	handler := s.eng.Flush(cid, p, now)
+	s.eng.SaveLockVC(lock, cid)
 	return s.P.Bus.LockRelease, handler, 0
 }
 
 // BarrierArrive implements sim.Platform: gather on the cluster bus, then one
 // message per cluster to the manager.
 func (s *Platform) BarrierArrive(p int, now uint64) (uint64, uint64) {
-	handler := s.flush(p, now)
+	handler := s.eng.Flush(s.clusterOf(p), p, now)
 	return s.P.Bus.BarrierLeaf + s.P.SVM.MsgSend/uint64(s.P.ClusterSize) + s.P.SVM.NetLatency/2, handler
 }
 
 // BarrierRelease implements sim.Platform: the manager handles one arrival
 // per CLUSTER, not per processor.
 func (s *Platform) BarrierRelease(arrivals []uint64, manager int) uint64 {
-	var m uint64
-	for _, a := range arrivals {
-		if a > m {
-			m = a
-		}
-	}
-	mgrWork := uint64(s.nc) * (s.P.SVM.MsgRecv/4 + s.P.SVM.BarrierPerProc)
-	if manager >= 0 && manager < s.np {
-		s.k.ChargeHandler(manager, mgrWork)
-	}
-	return m + mgrWork + s.P.SVM.BarrierBcast + s.P.SVM.NetLatency
+	return s.eng.ReleaseWork(arrivals, manager, s.nc)
 }
 
 // BarrierDepart implements sim.Platform.
 func (s *Platform) BarrierDepart(p int, releaseTime uint64) uint64 {
-	cid := s.clusterOf(p)
-	inv := 0
-	var diff uint64
-	for q := 0; q < s.nc; q++ {
-		if q == cid {
-			continue
-		}
-		// Arrival flushed the cluster's dirty pages, so diffC is zero here
-		// in practice; accounted anyway for symmetry with LockGrant.
-		i, diffC := s.invalidateUpTo(cid, q, s.cl[q].vc[q], p, releaseTime+diff)
-		inv += i
-		diff += diffC
+	return s.P.Bus.BarrierLeaf/3 + s.eng.DepartApply(s.clusterOf(p), p, releaseTime)
+}
+
+// CheckInvariants implements sim.InvariantChecked: the page engine's HLRC
+// invariants at cluster granularity (twin/diff balance aggregates over each
+// cluster's processors, since the write trap lands on the accessing
+// processor while the flush lands on whichever cluster mate releases), plus
+// each cluster's bus occupancy and line-table/cache agreement.
+func (s *Platform) CheckInvariants() error {
+	if err := s.eng.CheckInvariants(); err != nil {
+		return err
 	}
-	s.k.ChargeHandler(p, diff)
-	s.k.Counters(p).Invalidations += uint64(inv)
-	return s.P.Bus.BarrierLeaf/3 + uint64(inv)*s.P.SVM.InvalCost
+	for cid := range s.lineEng {
+		if err := s.buses[cid].CheckOccupancy(fmt.Sprintf("svmsmp: cluster %d", cid)); err != nil {
+			return err
+		}
+		if err := s.lineEng[cid].CheckInvariants(fmt.Sprintf("svmsmp: cluster %d", cid)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var (
-	_ sim.Platform     = (*Platform)(nil)
-	_ sim.Prevalidator = (*Platform)(nil)
+	_ sim.Platform         = (*Platform)(nil)
+	_ sim.Prevalidator     = (*Platform)(nil)
+	_ sim.InvariantChecked = (*Platform)(nil)
+	_ protocol.PageHost    = (*Platform)(nil)
 )
