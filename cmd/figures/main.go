@@ -29,8 +29,8 @@ import (
 	"runtime"
 
 	_ "repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/harness"
-	"repro/internal/store"
 )
 
 func main() {
@@ -44,16 +44,12 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store directory; already-computed cells are loaded instead of simulated")
 	flag.Parse()
 
-	var st *store.Store
-	if *storeDir != "" {
-		var err error
-		st, err = store.Open(*storeDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
+	memo, err := campaign.OpenMemo(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
-	r := harness.NewRunnerWith(*np, *scale, harness.NewMemo(st))
+	r := harness.NewRunnerWith(*np, *scale, memo)
 	r.Check = *check
 
 	var figs []harness.Figure

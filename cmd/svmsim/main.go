@@ -16,10 +16,10 @@ import (
 	"os"
 
 	_ "repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/stats"
-	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -78,16 +78,10 @@ func main() {
 	// Execution path: -hot needs the profiling hook (never cached), and
 	// trace-carrying specs bypass the cache inside Memo.Run; everything
 	// else goes through the memo so -store can answer without simulating.
-	var memo *harness.Memo
-	if *storeDir != "" {
-		st, serr := store.Open(*storeDir)
-		if serr != nil {
-			fmt.Fprintln(os.Stderr, "svmsim:", serr)
-			os.Exit(1)
-		}
-		memo = harness.NewMemo(st)
-	} else {
-		memo = harness.NewMemo(nil)
+	memo, merr := campaign.OpenMemo(*storeDir)
+	if merr != nil {
+		fmt.Fprintln(os.Stderr, "svmsim:", merr)
+		os.Exit(1)
 	}
 
 	var run *stats.Run

@@ -3,58 +3,39 @@
 // systems, we plan to investigate the issues with larger numbers of
 // processors"), answerable here by simulation.
 //
-// The (processor count × platform) matrix, including the per-platform
-// uniprocessor baselines, is executed by a bounded worker pool and printed
-// serially, so the table is byte-identical to a serial run regardless of
-// -workers. A failing cell prints as "error" while the rest of the sweep
-// completes; failures are listed on stderr and the exit code is 1.
+// Sweep is a thin rendering over internal/campaign: the cell matrix
+// (processor counts × platforms, plus each platform's uniprocessor baseline
+// of the original version) comes from campaign.SweepCells, and execution is
+// the same journalless local runner a one-app campaign uses. For anything
+// bigger — many apps, predicates, resumability, a serve fleet — use
+// cmd/campaign.
+//
+// A failing cell prints as "error" while the rest of the sweep completes;
+// failures are listed on stderr and the exit code is 1.
 //
 //	sweep -app ocean -version rows -platform svm -procs 1,2,4,8,16,32
 //	sweep -app ocean -version rows -store DIR   # incremental: cached cells are not re-simulated
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
-	"strings"
-	"sync"
 
 	_ "repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/harness"
 	"repro/internal/platform"
-	"repro/internal/stats"
-	"repro/internal/store"
 )
 
-// cell is one experiment of the sweep matrix; np == 0 marks the platform's
-// uniprocessor baseline of the original version.
-type cell struct {
-	np   int
-	plat string
-}
-
-// parseProcs parses a -procs flag value: comma-separated positive integers
-// with no duplicates. A dup would either waste a run or (worse) silently
-// render the same column twice.
+// parseProcs keeps the historical name alive in this package for the fuzz
+// target; the grammar itself lives in internal/campaign, shared with
+// cmd/campaign's spec axis.
 func parseProcs(s string) ([]int, error) {
-	var counts []int
-	seen := map[int]bool{}
-	for _, f := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad processor count %q (want a positive integer)", strings.TrimSpace(f))
-		}
-		if seen[n] {
-			return nil, fmt.Errorf("duplicate processor count %d in -procs %q", n, s)
-		}
-		seen[n] = true
-		counts = append(counts, n)
-	}
-	return counts, nil
+	return campaign.ParseProcs(s)
 }
 
 func main() {
@@ -77,78 +58,31 @@ func main() {
 		plats = []string{*plat}
 	}
 
-	var cells []cell
-	for _, pl := range plats {
-		cells = append(cells, cell{0, pl})
-		for _, np := range counts {
-			cells = append(cells, cell{np, pl})
+	memo, err := campaign.OpenMemo(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	cells := campaign.SweepCells(*app, *version, plats, counts, *scale)
+	runner := &campaign.Runner{
+		Name:  "sweep",
+		Cells: cells,
+		Exec:  &campaign.Local{Memo: memo, Workers: *workers},
+	}
+	rep, _ := runner.Run(context.Background()) // no journal and a background ctx: never interrupted
+
+	// Render the table serially from the settled entries, so it is
+	// byte-identical to a serial run regardless of -workers.
+	orig := campaign.OrigVersion(*app)
+	end := func(v string, np int, pl string) (uint64, bool) {
+		spec := harness.Spec{App: *app, Version: v, Platform: pl, NumProcs: np, Scale: *scale}
+		e, ok := rep.Entries[spec.MemoKey()]
+		if !ok || e.Status != "done" || e.End == 0 {
+			return 0, false
 		}
+		return e.End, true
 	}
-
-	var st *store.Store
-	if *storeDir != "" {
-		var err error
-		st, err = store.Open(*storeDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-	}
-	// All executions flow through one spec-keyed memo, so duplicate cells
-	// coalesce and, with -store, completed cells survive across sweeps.
-	memo := harness.NewMemo(st)
-
-	var mu sync.Mutex
-	runs := map[cell]*stats.Run{}
-	errs := map[cell]error{}
-
-	exec := func(c cell) (*stats.Run, error) {
-		if c.np == 0 {
-			// Baseline: uniprocessor original version. Barnes names
-			// its original differently.
-			run, err := memo.Run(harness.Spec{
-				App: *app, Version: "orig", Platform: c.plat, NumProcs: 1, Scale: *scale,
-			})
-			if err != nil {
-				run, err = memo.Run(harness.Spec{
-					App: *app, Version: "splash", Platform: c.plat, NumProcs: 1, Scale: *scale,
-				})
-			}
-			return run, err
-		}
-		return memo.Run(harness.Spec{
-			App: *app, Version: *version, Platform: c.plat, NumProcs: c.np, Scale: *scale,
-		})
-	}
-
-	w := *workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	work := make(chan cell)
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				run, err := exec(c)
-				mu.Lock()
-				if err != nil {
-					errs[c] = err
-				} else {
-					runs[c] = run
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, c := range cells {
-		work <- c
-	}
-	close(work)
-	wg.Wait()
-
 	fmt.Printf("%s/%s speedup vs uniprocessor original (scale %.2g)\n", *app, *version, *scale)
 	fmt.Printf("%6s", "P")
 	for _, pl := range plats {
@@ -158,33 +92,42 @@ func main() {
 	for _, np := range counts {
 		fmt.Printf("%6d", np)
 		for _, pl := range plats {
-			base, run := runs[cell{0, pl}], runs[cell{np, pl}]
-			if base == nil || run == nil {
+			base, okB := end(orig, 1, pl)
+			run, okR := end(*version, np, pl)
+			if !okB || !okR {
 				fmt.Printf(" %8s", "error")
 				continue
 			}
-			fmt.Printf(" %8.2f", float64(base.EndTime)/float64(run.EndTime))
+			fmt.Printf(" %8.2f", float64(base)/float64(run))
 		}
 		fmt.Println()
 	}
 
 	fmt.Fprintf(os.Stderr, "sweep: cache: %s\n", memo.Stats())
 
-	if len(errs) > 0 {
+	if fails := rep.Failed(); len(fails) > 0 {
+		inMatrix := map[int]bool{}
+		for _, np := range counts {
+			inMatrix[np] = true
+		}
 		var lines []string
-		for c, err := range errs {
-			what := fmt.Sprintf("P=%d on %s", c.np, c.plat)
-			if c.np == 0 {
-				what = "baseline on " + c.plat
+		for _, c := range rep.Cells {
+			e, ok := rep.Entries[c.Key]
+			if !ok || e.Status != "failed" {
+				continue
 			}
-			msg := err.Error()
-			if i := strings.IndexByte(msg, '\n'); i >= 0 {
-				msg = msg[:i] + " ..."
+			what := fmt.Sprintf("P=%d on %s", c.Spec.NumProcs, c.Spec.Platform)
+			if c.Spec.Version != *version || !inMatrix[c.Spec.NumProcs] {
+				what = "baseline on " + c.Spec.Platform
+			}
+			msg := e.Msg
+			if msg == "" {
+				msg = e.Kind
 			}
 			lines = append(lines, fmt.Sprintf("  %s: %s", what, msg))
 		}
 		sort.Strings(lines)
-		fmt.Fprintf(os.Stderr, "sweep: %d cell(s) failed:\n", len(errs))
+		fmt.Fprintf(os.Stderr, "sweep: %d cell(s) failed:\n", len(fails))
 		for _, l := range lines {
 			fmt.Fprintln(os.Stderr, l)
 		}

@@ -28,6 +28,17 @@ var Names = []string{"svm", "smp", "dsm"}
 // placement granularity.
 const PageSize = 4096
 
+// Known reports whether name is a preset Make can build. Campaign and
+// sweep spec validation use it to reject a typo'd platform before
+// enumerating (and journaling) thousands of cells that would all fail.
+func Known(name string) bool {
+	switch name {
+	case "svm", "dsm", "smp", "svmsmp", "smp-msi", "dsm-msi":
+		return true
+	}
+	return false
+}
+
 // Make builds the named platform over the given address space.
 func Make(name string, as *mem.AddressSpace, np int) (sim.Platform, error) {
 	switch name {

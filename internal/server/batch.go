@@ -63,6 +63,18 @@ func (c BatchCell) spec() (harness.Spec, error) {
 	}, nil
 }
 
+// CampaignHeader, when present on a POST /run batch, names the campaign
+// the batch belongs to; the server then counts each cell's outcome in the
+// svmserve_campaign_cells_total metric (status="done" for 200, "failed"
+// otherwise). CampaignRetryHeader additionally marks a batch that a
+// campaign client is re-sending after a transient failure; its cells are
+// also counted under status="retried". The headers only drive metrics —
+// execution and routing are identical with or without them.
+const (
+	CampaignHeader      = "X-Campaign"
+	CampaignRetryHeader = "X-Campaign-Retry"
+)
+
 // handleRunBatch serves POST /run: a JSON array of cells in, one NDJSON
 // BatchResult per cell out, flushed as each completes. The batch occupies
 // one admission slot (like /figures) and fans its cells out over its own
@@ -113,6 +125,8 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	forwarded := r.Header.Get(ForwardHeader) != ""
+	campaign := r.Header.Get(CampaignHeader) != ""
+	campaignRetry := campaign && r.Header.Get(CampaignRetryHeader) != ""
 	workers := s.cfg.MaxInflight
 	if workers > len(cells) {
 		workers = len(cells)
@@ -125,12 +139,25 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := range idxCh {
 				s.mx.batchCells.Add(1)
+				if campaignRetry {
+					s.mx.campaignRetried.Add(1)
+				}
 				spec, err := cells[i].spec()
 				if err != nil {
+					if campaign {
+						s.mx.campaignFailed.Add(1)
+					}
 					emit(BatchResult{Index: i, Code: http.StatusBadRequest, Error: err.Error()})
 					continue
 				}
 				body, _, code := s.routeRun(ctx, spec, cells[i].Speedup, forwarded)
+				if campaign {
+					if code == http.StatusOK {
+						s.mx.campaignDone.Add(1)
+					} else {
+						s.mx.campaignFailed.Add(1)
+					}
+				}
 				emit(BatchResult{Index: i, Code: code, Body: string(body)})
 			}
 		}()

@@ -35,6 +35,14 @@ type metrics struct {
 	batchCells  atomic.Uint64 // cells served through POST /run batches
 	draining    atomic.Bool   // Drain called; /healthz answers 503
 
+	// Campaign progress, counted from batches marked with the
+	// CampaignHeader: done (200), failed (anything else), and retried
+	// (cells arriving in a batch marked as a campaign retry attempt —
+	// counted in addition to their done/failed outcome).
+	campaignDone    atomic.Uint64
+	campaignFailed  atomic.Uint64
+	campaignRetried atomic.Uint64
+
 	latBuckets []atomic.Uint64 // len(latencyBuckets)+1: +Inf tail
 	latCount   atomic.Uint64
 	latSumNs   atomic.Uint64
@@ -106,6 +114,11 @@ func (m *metrics) render(b *strings.Builder, extra map[string]uint64, peerHealth
 	fmt.Fprintf(b, "# HELP svmserve_batch_cells_total Cells served through POST /run batches.\n")
 	fmt.Fprintf(b, "# TYPE svmserve_batch_cells_total counter\n")
 	fmt.Fprintf(b, "svmserve_batch_cells_total %d\n", m.batchCells.Load())
+	fmt.Fprintf(b, "# HELP svmserve_campaign_cells_total Campaign-marked batch cells served, by outcome.\n")
+	fmt.Fprintf(b, "# TYPE svmserve_campaign_cells_total counter\n")
+	fmt.Fprintf(b, "svmserve_campaign_cells_total{status=\"done\"} %d\n", m.campaignDone.Load())
+	fmt.Fprintf(b, "svmserve_campaign_cells_total{status=\"retried\"} %d\n", m.campaignRetried.Load())
+	fmt.Fprintf(b, "svmserve_campaign_cells_total{status=\"failed\"} %d\n", m.campaignFailed.Load())
 	if peerHealth != nil {
 		fmt.Fprintf(b, "# HELP svmserve_cluster_peer_up Last probed health of each cluster peer (1 up, 0 down).\n")
 		fmt.Fprintf(b, "# TYPE svmserve_cluster_peer_up gauge\n")

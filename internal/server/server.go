@@ -467,13 +467,24 @@ func specQuery(spec harness.Spec, speedup bool) url.Values {
 // indented RunJSON document and a trailing newline (or the structured
 // RunErrorJSON document for a deterministic failure, with status 422).
 func (s *Server) executeRun(spec harness.Spec, speedup bool) (body []byte, contentType string, code int) {
+	return CellBody(s.memo, spec, speedup)
+}
+
+// CellBody renders one cell through a memo into the canonical single-cell
+// document: the exact bytes `svmsim -json` prints, trailing newline
+// included, with code 200 — or the structured RunErrorJSON document with
+// code 422 for a deterministic failure. It is the one place those bytes
+// are produced, shared by the HTTP handlers and by internal/campaign's
+// local execution path, so a campaign's result fingerprints are identical
+// whether a cell was computed in-process or fetched from a serve fleet.
+func CellBody(memo *harness.Memo, spec harness.Spec, speedup bool) (body []byte, contentType string, code int) {
 	jsonBody := func(b []byte, jerr error, code int) ([]byte, string, int) {
 		if jerr != nil {
 			return []byte("serve: " + jerr.Error() + "\n"), "text/plain; charset=utf-8", http.StatusInternalServerError
 		}
 		return append(b, '\n'), "application/json", code
 	}
-	run, err := s.memo.Run(spec)
+	run, err := memo.Run(spec)
 	if err != nil {
 		b, jerr := harness.RunErrorJSON(spec, err)
 		return jsonBody(b, jerr, http.StatusUnprocessableEntity)
@@ -490,7 +501,7 @@ func (s *Server) executeRun(spec harness.Spec, speedup bool) (body []byte, conte
 		baseSpec.Version = a.Versions()[0].Name
 		baseSpec.NumProcs = 1
 		baseSpec.FreeCSFaults = false
-		base, berr := s.memo.Run(baseSpec)
+		base, berr := memo.Run(baseSpec)
 		if berr != nil {
 			b, jerr := harness.RunErrorJSON(baseSpec, berr)
 			return jsonBody(b, jerr, http.StatusUnprocessableEntity)
