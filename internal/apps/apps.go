@@ -1,13 +1,17 @@
 // Package apps links every application reimplementation into the registry.
-// Importing it (blank) makes all seven applications available to
+// Importing it (blank) makes the paper's seven applications and the
+// irregular extension workloads (kvstore, bfs, pipeline) available to
 // core.Lookup.
 package apps
 
 import (
 	// Each application package registers itself in its init function.
 	_ "repro/internal/apps/barnes"
+	_ "repro/internal/apps/bfs"
+	_ "repro/internal/apps/kvstore"
 	_ "repro/internal/apps/lu"
 	_ "repro/internal/apps/ocean"
+	_ "repro/internal/apps/pipeline"
 	_ "repro/internal/apps/radix"
 	_ "repro/internal/apps/raytrace"
 	_ "repro/internal/apps/shearwarp"

@@ -1,0 +1,20 @@
+package bfs
+
+import (
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+)
+
+// Fingerprint implements core.Fingerprinter: the distance array in vertex
+// order. Distances are a pure function of the graph — the two-phase
+// owner-claim protocol makes them independent of interleaving, platform,
+// processor count, and version.
+func (in *instance) Fingerprint() uint64 {
+	h := apputil.NewHash()
+	for _, d := range in.dist {
+		h.Uint32(uint32(d))
+	}
+	return h.Sum()
+}
+
+var _ core.Fingerprinter = (*instance)(nil)

@@ -1,0 +1,61 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Operation-log wire format, for capturing and replaying request traces
+// against the service versions (and for fuzzing the decoder in CI):
+//
+//	magic   "kvoplog1"           8 bytes
+//	count   uint32 little-endian 4 bytes
+//	records count x { key uint32 LE, delta uint32 LE }
+//
+// A delta of zero is a get, anything else a put. The encoding is canonical:
+// DecodeOps(EncodeOps(ops)) round-trips exactly, and any accepted input
+// re-encodes to itself.
+
+const (
+	oplogMagic = "kvoplog1"
+	// maxOps bounds decoded logs (64 Mi operations, a 512 MiB log) so a
+	// corrupt count cannot drive a huge allocation.
+	maxOps = 1 << 26
+)
+
+// EncodeOps serializes an operation log in the canonical wire format.
+func EncodeOps(ops []Op) []byte {
+	buf := make([]byte, len(oplogMagic)+4+8*len(ops))
+	copy(buf, oplogMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(ops)))
+	for i, op := range ops {
+		binary.LittleEndian.PutUint32(buf[12+8*i:], op.Key)
+		binary.LittleEndian.PutUint32(buf[16+8*i:], op.Delta)
+	}
+	return buf
+}
+
+// DecodeOps parses the canonical wire format, rejecting bad magic,
+// truncated or oversized payloads, and counts past the sanity bound.
+func DecodeOps(data []byte) ([]Op, error) {
+	if len(data) < len(oplogMagic)+4 {
+		return nil, fmt.Errorf("kvstore: op log too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != oplogMagic {
+		return nil, fmt.Errorf("kvstore: bad op log magic %q", data[:8])
+	}
+	n := binary.LittleEndian.Uint32(data[8:])
+	if n > maxOps {
+		return nil, fmt.Errorf("kvstore: op log count %d exceeds limit %d", n, maxOps)
+	}
+	want := len(oplogMagic) + 4 + 8*int(n)
+	if len(data) != want {
+		return nil, fmt.Errorf("kvstore: op log length %d, header says %d", len(data), want)
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i].Key = binary.LittleEndian.Uint32(data[12+8*i:])
+		ops[i].Delta = binary.LittleEndian.Uint32(data[16+8*i:])
+	}
+	return ops, nil
+}

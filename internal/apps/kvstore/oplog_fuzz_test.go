@@ -1,0 +1,26 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeOps drives arbitrary bytes through the op-log decoder: it must
+// never panic, and anything it accepts must re-encode byte-identically
+// (the format is canonical).
+func FuzzDecodeOps(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(oplogMagic))
+	f.Add(EncodeOps(nil))
+	f.Add(EncodeOps([]Op{{Key: 7, Delta: 0}, {Key: 9, Delta: 1 << 16}}))
+	f.Add(EncodeOps(GenerateOps(64, 100, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeOps(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeOps(ops), data) {
+			t.Fatalf("accepted input does not re-encode canonically (%d ops)", len(ops))
+		}
+	})
+}

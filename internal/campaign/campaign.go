@@ -77,6 +77,20 @@ type Predicate struct {
 	MinProcs int     `json:"min_procs,omitempty"`
 	MaxProcs int     `json:"max_procs,omitempty"`
 	Scale    float64 `json:"scale,omitempty"`
+	// Class selects versions by their optimization class from the paper's
+	// taxonomy: "Orig", "P/A", "DS", or "Alg". It matches the registry's
+	// Version.Class, so a spec can say "every algorithm-redesign variant"
+	// without naming each app's version spelling.
+	Class string `json:"class,omitempty"`
+}
+
+// classNames are the spellings Predicate.Class accepts: the String()
+// forms of the paper's four optimization classes.
+var classNames = map[string]core.Class{
+	core.Orig.String(): core.Orig,
+	core.PA.String():   core.PA,
+	core.DS.String():   core.DS,
+	core.Alg.String():  core.Alg,
 }
 
 // matches reports whether the predicate selects s.
@@ -86,6 +100,16 @@ func (p Predicate) matches(s harness.Spec) bool {
 	}
 	if p.Version != "" && p.Version != s.Version {
 		return false
+	}
+	if p.Class != "" {
+		a, err := core.Lookup(s.App)
+		if err != nil {
+			return false
+		}
+		v, err := core.FindVersion(a, s.Version)
+		if err != nil || v.Class.String() != p.Class {
+			return false
+		}
 	}
 	if p.Platform != "" && p.Platform != s.Platform {
 		return false
@@ -169,6 +193,21 @@ func (s *Spec) validate() error {
 	for _, sc := range s.Scales {
 		if sc <= 0 {
 			return fmt.Errorf("campaign: bad scale %g (want a positive number)", sc)
+		}
+	}
+	for _, preds := range [][]Predicate{s.Include, s.Exclude} {
+		for _, p := range preds {
+			if p.Class == "" {
+				continue
+			}
+			if _, ok := classNames[p.Class]; !ok {
+				names := make([]string, 0, len(classNames))
+				for n := range classNames {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				return fmt.Errorf("campaign: unknown optimization class %q in predicate (want one of %v)", p.Class, names)
+			}
 		}
 	}
 	return nil

@@ -161,6 +161,65 @@ func TestPredicates(t *testing.T) {
 	}
 }
 
+// Class predicates select versions through the registry's taxonomy
+// metadata, so a spec can say "all algorithm-redesign variants" without
+// naming each app's version spelling.
+func TestClassPredicate(t *testing.T) {
+	s := &Spec{
+		Name: "classes",
+		Apps: []AppMatrix{
+			{App: "bfs", Versions: []string{"orig", "pad", "part", "dir"}},
+			{App: "kvstore", Versions: []string{"orig", "pad", "open", "shard"}},
+		},
+		Platforms: []string{"svm"},
+		Procs:     []int{4},
+		Scales:    []float64{0.25},
+		Include:   []Predicate{{Class: "Alg"}},
+	}
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"bfs/dir": true, "kvstore/shard": true}
+	if len(cells) != len(want) {
+		t.Fatalf("class=Alg selected %d cells, want %d: %v", len(cells), len(want), keysOf(cells))
+	}
+	for _, c := range cells {
+		if !want[c.Spec.App+"/"+c.Spec.Version] {
+			t.Errorf("class=Alg selected %s", c.Key)
+		}
+	}
+
+	// Excluding by class composes with the other predicate dimensions.
+	s.Include = nil
+	s.Exclude = []Predicate{{Class: "Orig", MinProcs: 2}, {Class: "P/A"}}
+	cells, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Spec.Version == "orig" || c.Spec.Version == "pad" {
+			t.Errorf("class exclude kept %s", c.Key)
+		}
+	}
+	if len(cells) != 4 { // part, dir, open, shard
+		t.Fatalf("got %d cells after class excludes, want 4", len(cells))
+	}
+
+	// A typo'd class name is a spec error, not an empty match.
+	s.Exclude = []Predicate{{Class: "Algo"}}
+	if _, err := s.Expand(); err == nil {
+		t.Error("Expand accepted unknown class name")
+	}
+	// The four paper class spellings all validate.
+	for _, cl := range []string{"Orig", "P/A", "DS", "Alg"} {
+		s.Exclude = []Predicate{{Class: cl, MinProcs: 1 << 20}}
+		if _, err := s.Expand(); err != nil {
+			t.Errorf("class %q rejected: %v", cl, err)
+		}
+	}
+}
+
 func TestOrigVersion(t *testing.T) {
 	if v := OrigVersion("lu"); v != "orig" {
 		t.Errorf("OrigVersion(lu) = %q", v)

@@ -95,7 +95,10 @@ type App interface {
 	Build(version string, scale float64, as *mem.AddressSpace, np int) (Instance, error)
 }
 
-var registry = map[string]App{}
+var (
+	registry  = map[string]App{}
+	extension = map[string]bool{}
+)
 
 // Register adds an application to the global registry; called from app
 // package init functions.
@@ -104,6 +107,34 @@ func Register(a App) {
 		panic("core: duplicate app " + a.Name())
 	}
 	registry[a.Name()] = a
+}
+
+// RegisterExtension adds a post-paper application — the irregular modern
+// workloads of ROADMAP item 3 (key-value service, graph BFS,
+// producer-consumer pipeline). Extension apps are available to Lookup,
+// sweeps, and campaigns exactly like the paper's seven, but PaperApps
+// excludes them, so the paper-figure enumerations (Figure 2, Figure 16,
+// the §4 headline progressions, the claims suite) keep reproducing the
+// paper's own application set.
+func RegisterExtension(a App) {
+	Register(a)
+	extension[a.Name()] = true
+}
+
+// IsExtension reports whether name was registered with RegisterExtension.
+func IsExtension(name string) bool { return extension[name] }
+
+// PaperApps returns the registered paper applications (extensions
+// excluded), sorted.
+func PaperApps() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		if !extension[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Lookup returns the registered application with the given name.
@@ -125,12 +156,19 @@ func Apps() []string {
 	return names
 }
 
-// FindVersion returns the Version metadata for an app variant.
+// FindVersion returns the Version metadata for an app variant. The error
+// for an unknown variant lists the app's available versions, so a typo'd
+// multi-variant campaign spec names the fix instead of just the failure.
 func FindVersion(a App, name string) (Version, error) {
-	for _, v := range a.Versions() {
+	vs := a.Versions()
+	for _, v := range vs {
 		if v.Name == name {
 			return v, nil
 		}
 	}
-	return Version{}, fmt.Errorf("core: app %s has no version %q", a.Name(), name)
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return Version{}, fmt.Errorf("core: app %s has no version %q (have %v)", a.Name(), name, names)
 }

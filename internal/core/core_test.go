@@ -61,6 +61,49 @@ func TestFindVersion(t *testing.T) {
 	}
 }
 
+// The unknown-version error must name the available versions: campaign spec
+// validation surfaces it verbatim, and for a multi-variant app the fix
+// should be in the message.
+func TestFindVersionErrorListsVersions(t *testing.T) {
+	a := fakeApp{name: "zz-fv-list"}
+	_, err := FindVersion(a, "nope")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	want := `core: app zz-fv-list has no version "nope" (have [orig])`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestRegisterExtensionExcludedFromPaperApps(t *testing.T) {
+	Register(fakeApp{name: "zz-paper"})
+	RegisterExtension(fakeApp{name: "zz-ext"})
+	if !IsExtension("zz-ext") || IsExtension("zz-paper") {
+		t.Errorf("IsExtension: ext=%v paper=%v", IsExtension("zz-ext"), IsExtension("zz-paper"))
+	}
+	inAll := func(name string, names []string) bool {
+		for _, n := range names {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !inAll("zz-ext", Apps()) {
+		t.Error("extension app missing from Apps()")
+	}
+	if inAll("zz-ext", PaperApps()) {
+		t.Error("extension app leaked into PaperApps()")
+	}
+	if !inAll("zz-paper", PaperApps()) {
+		t.Error("paper app missing from PaperApps()")
+	}
+	if _, err := Lookup("zz-ext"); err != nil {
+		t.Errorf("extension app not Lookup-able: %v", err)
+	}
+}
+
 func TestClassStrings(t *testing.T) {
 	cases := map[Class]string{Orig: "Orig", PA: "P/A", DS: "DS", Alg: "Alg"}
 	for c, want := range cases {

@@ -24,6 +24,11 @@ var BaseScale = map[string]float64{
 	"raytrace":  1,
 	"barnes":    2,
 	"radix":     2,
+	// Irregular extension workloads (ROADMAP item 3): sized so a 16-way
+	// cell simulates in the same ballpark as the paper apps above.
+	"kvstore":  2,
+	"bfs":      2,
+	"pipeline": 2,
 }
 
 func (r *Runner) scaleFor(app string) float64 {
@@ -125,7 +130,7 @@ func FindFigure(id string) (Figure, error) {
 
 func fig2Cells() []Cell {
 	var cells []Cell
-	for _, app := range core.Apps() {
+	for _, app := range core.PaperApps() {
 		a, _ := core.Lookup(app)
 		for _, pl := range platform.Names {
 			cells = append(cells, Cell{App: app, Version: a.Versions()[0].Name, Platform: pl, Speedup: true})
@@ -142,7 +147,7 @@ func fig2(r *Runner) (string, error) {
 		fmt.Fprintf(&b, " %8s", pl)
 	}
 	fmt.Fprintln(&b)
-	for _, app := range core.Apps() {
+	for _, app := range core.PaperApps() {
 		a, _ := core.Lookup(app)
 		orig := a.Versions()[0].Name
 		fmt.Fprintf(&b, "%-10s", app)
@@ -163,7 +168,7 @@ func fig2(r *Runner) (string, error) {
 
 func fig16Cells() []Cell {
 	var cells []Cell
-	for _, app := range core.Apps() {
+	for _, app := range core.PaperApps() {
 		a, _ := core.Lookup(app)
 		for _, v := range a.Versions() {
 			for _, pl := range platform.Names {
@@ -177,7 +182,7 @@ func fig16Cells() []Cell {
 func fig16(r *Runner) (string, error) {
 	var b strings.Builder
 	var fails []string
-	for _, app := range core.Apps() {
+	for _, app := range core.PaperApps() {
 		a, _ := core.Lookup(app)
 		fmt.Fprintf(&b, "%s:\n", app)
 		fmt.Fprintf(&b, "  %-12s %-5s", "version", "class")
@@ -238,7 +243,7 @@ func fig17(r *Runner) (string, error) {
 // parallel pre-execution.
 func HeadlineCells() []Cell {
 	var cells []Cell
-	for _, app := range core.Apps() {
+	for _, app := range core.PaperApps() {
 		a, _ := core.Lookup(app)
 		for _, v := range a.Versions() {
 			cells = append(cells, Cell{App: app, Version: v.Name, Platform: "svm", Speedup: true})
@@ -253,7 +258,7 @@ func HeadlineCells() []Cell {
 func HeadlineSpeedups(r *Runner) (string, error) {
 	var b strings.Builder
 	var fails []string
-	apps := core.Apps()
+	apps := core.PaperApps()
 	sort.Strings(apps)
 	for _, app := range apps {
 		a, _ := core.Lookup(app)

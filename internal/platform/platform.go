@@ -28,13 +28,20 @@ var Names = []string{"svm", "smp", "dsm"}
 // placement granularity.
 const PageSize = 4096
 
+// AllPresets lists every preset Make can build: the paper's three
+// platforms first, then the two-level hierarchy and the MSI protocol-engine
+// compositions. The cross-platform differential suite and the irregular
+// workload campaign sweep all of them.
+var AllPresets = []string{"svm", "smp", "dsm", "svmsmp", "smp-msi", "dsm-msi"}
+
 // Known reports whether name is a preset Make can build. Campaign and
 // sweep spec validation use it to reject a typo'd platform before
 // enumerating (and journaling) thousands of cells that would all fail.
 func Known(name string) bool {
-	switch name {
-	case "svm", "dsm", "smp", "svmsmp", "smp-msi", "dsm-msi":
-		return true
+	for _, n := range AllPresets {
+		if n == name {
+			return true
+		}
 	}
 	return false
 }

@@ -58,8 +58,14 @@ func NewRunner(np int, scale float64) *Runner { return harness.NewRunner(np, sca
 // Figures lists every regenerable figure in paper order.
 func Figures() []Figure { return harness.Figures() }
 
-// Apps lists the registered applications.
+// Apps lists the registered applications, the paper's seven plus the
+// irregular extension workloads (kvstore, bfs, pipeline).
 func Apps() []string { return core.Apps() }
+
+// PaperApps lists only the paper's applications — the set the figures and
+// the paper-claims suite reproduce. Extension workloads registered via
+// core.RegisterExtension are excluded.
+func PaperApps() []string { return core.PaperApps() }
 
 // Versions lists the restructured versions of an application, original
 // first, with their optimization classes.

@@ -58,7 +58,7 @@ func farBehind(svmSp, hwSp float64) bool { return svmSp < 0.6*hwSp }
 // SPLASH-2-style version is far slower on SVM than on both hardware-coherent
 // platforms.
 func TestClaimsOriginalsTrailHardware(t *testing.T) {
-	for _, app := range Apps() {
+	for _, app := range PaperApps() {
 		vs, err := Versions(app)
 		if err != nil {
 			t.Fatal(err)
@@ -89,7 +89,7 @@ func TestClaimsOceanRaytraceBelowUniprocessor(t *testing.T) {
 // alone never brings an application close to hardware-coherent performance
 // on SVM (for several apps it even hurts, by enlarging the data set).
 func TestClaimsPaddingAloneNeverRescues(t *testing.T) {
-	for _, app := range Apps() {
+	for _, app := range PaperApps() {
 		vs, err := Versions(app)
 		if err != nil {
 			t.Fatal(err)

@@ -4,8 +4,11 @@ import "testing"
 
 func TestFacadeListsEverything(t *testing.T) {
 	apps := Apps()
-	if len(apps) != 7 {
-		t.Fatalf("%d apps registered, want 7: %v", len(apps), apps)
+	if len(apps) != 10 {
+		t.Fatalf("%d apps registered, want 10 (7 paper + 3 extensions): %v", len(apps), apps)
+	}
+	if paper := PaperApps(); len(paper) != 7 {
+		t.Fatalf("%d paper apps, want 7: %v", len(paper), paper)
 	}
 	for _, app := range apps {
 		vs, err := Versions(app)
